@@ -1,0 +1,188 @@
+// Command activesim runs interactive-scale ActiveRMT scenarios on the
+// simulated testbed and prints a timeline: switch, controller, clients, and
+// a key-value server, all driven by the virtual clock.
+//
+// Usage:
+//
+//	activesim -scenario cache      # one cache client over Zipf traffic
+//	activesim -scenario multi      # four staggered cache tenants (Fig 9b)
+//	activesim -scenario lb         # Cheetah load balancing across 4 servers
+//	activesim -scenario churn      # Poisson arrivals/departures (Fig 8a)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"activermt/internal/apps"
+	"activermt/internal/client"
+	"activermt/internal/experiments"
+	"activermt/internal/packet"
+	"activermt/internal/testbed"
+	"activermt/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "cache", "cache | multi | lb | churn")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var err error
+	switch *scenario {
+	case "cache":
+		err = runCache(*seed)
+	case "multi":
+		err = runFromExperiment("fig9b", *seed)
+	case "churn":
+		err = runFromExperiment("fig8a", *seed)
+	case "lb":
+		err = runLB(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "activesim: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "activesim:", err)
+		os.Exit(1)
+	}
+}
+
+func runFromExperiment(id string, seed int64) error {
+	spec, _ := experiments.Lookup(id)
+	res, err := spec.Run(experiments.RunConfig{Quick: true, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %s (%s)\n", id, res.Title)
+	for k, v := range res.Metrics {
+		fmt.Printf("  %-32s %g\n", k, v)
+	}
+	for _, n := range res.Notes {
+		fmt.Printf("  note: %s\n", n)
+	}
+	return nil
+}
+
+func runCache(seed int64) error {
+	tb, err := testbed.New(testbed.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	srv := apps.NewKVServer(tb.Eng, testbed.MACFor(200), testbed.IPFor(999))
+	_, sp := tb.Attach(srv, srv.MAC())
+	srv.Attach(sp)
+
+	_, _, selfIP := tb.NewHostID()
+	cache := apps.NewCache(srv.MAC(), selfIP, testbed.IPFor(999))
+	cl := tb.AddClient(1, apps.CacheService(cache))
+	cache.Bind(cl)
+
+	fmt.Printf("[%8.3fs] requesting allocation\n", tb.Eng.Now().Seconds())
+	if err := cl.RequestAllocation(); err != nil {
+		return err
+	}
+	if err := tb.WaitOperational(cl, 10*time.Second); err != nil {
+		return err
+	}
+	pl := cl.Placement()
+	fmt.Printf("[%8.3fs] operational: mutant %v, %d buckets\n",
+		tb.Eng.Now().Seconds(), pl.Mutant, cache.Capacity())
+
+	// Seed server + hot set, then drive Zipf traffic.
+	z := workload.NewZipf(seed, 1.25, 4096)
+	keys := make([][2]uint32, 4096)
+	var hot []apps.KVMsg
+	for i := range keys {
+		k0, k1, v := uint32(i)*2654435761, uint32(i)*2246822519+7, uint32(0xC0DE+i)
+		keys[i] = [2]uint32{k0, k1}
+		srv.Store[apps.KeyOf(k0, k1)] = v
+		if i < 2048 {
+			hot = append(hot, apps.KVMsg{Key0: k0, Key1: k1, Value: v})
+		}
+	}
+	cache.SetHotObjects(hot)
+	cache.Populate()
+	tb.RunFor(50 * time.Millisecond)
+	fmt.Printf("[%8.3fs] populated %d objects\n", tb.Eng.Now().Seconds(), cache.PopAcks)
+
+	for window := 0; window < 5; window++ {
+		cache.ResetStats()
+		for i := 0; i < 5000; i++ {
+			k := keys[z.Next()]
+			cache.Get(k[0], k[1])
+			tb.RunFor(50 * time.Microsecond)
+		}
+		tb.RunFor(5 * time.Millisecond)
+		fmt.Printf("[%8.3fs] window %d: hit rate %.3f (%d hits, %d misses, server saw %d)\n",
+			tb.Eng.Now().Seconds(), window, cache.HitRate(), cache.Hits, cache.Misses, srv.Requests)
+	}
+	return nil
+}
+
+func runLB(seed int64) error {
+	tb, err := testbed.New(testbed.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	const nsrv = 4
+	servers := make([]*apps.EchoServer, nsrv)
+	ports := make([]uint32, nsrv)
+	for i := range servers {
+		servers[i] = apps.NewEchoServer(tb.Eng, testbed.MACFor(201+i))
+		p, ep := tb.Attach(servers[i], servers[i].MAC())
+		servers[i].Attach(ep)
+		ports[i] = uint32(p)
+	}
+
+	lb := apps.NewCheetah(uint32(seed)*0x9E37+1, nsrv)
+	lb.Select = tb.AddClient(21, apps.CheetahSelectService())
+	lb.Route = tb.AddClient(22, apps.CheetahRouteService())
+
+	cookieCh := map[uint64]uint32{}
+	lb.Select.Handler = func(c *client.Client, f *packet.Frame) {
+		if f.Active == nil || f.Active.Args[1] == 0 {
+			return
+		}
+		if tup, ok := packet.ParseFiveTuple(f.Inner); ok {
+			cookieCh[uint64(tup.SrcPort)] = f.Active.Args[1]
+		}
+	}
+	for _, cl := range []*client.Client{lb.Select, lb.Route} {
+		if err := cl.RequestAllocation(); err != nil {
+			return err
+		}
+		if err := tb.WaitOperational(cl, 10*time.Second); err != nil {
+			return err
+		}
+	}
+	lb.SetupPool(ports)
+	tb.RunFor(20 * time.Millisecond)
+	fmt.Printf("[%8.3fs] pool installed: ports %v\n", tb.Eng.Now().Seconds(), ports)
+
+	// 32 flows: SYN then 8 data packets each.
+	for flow := 0; flow < 32; flow++ {
+		tup := packet.FiveTuple{
+			Src: testbed.IPFor(50), Dst: testbed.IPFor(60),
+			SrcPort: uint16(1000 + flow), DstPort: 80, Protocol: packet.ProtoTCP,
+		}
+		payload := apps.BuildUDP(tup.Src, tup.Dst, tup.SrcPort, tup.DstPort, []byte("syn"))
+		lb.ActivateSYN(payload, testbed.MACFor(250))
+		tb.RunFor(2 * time.Millisecond)
+		if ck, ok := cookieCh[uint64(tup.SrcPort)]; ok {
+			lb.LearnCookie(tup, ck)
+		}
+		for i := 0; i < 8; i++ {
+			lb.ActivateData(tup, payload, testbed.MACFor(250))
+			tb.RunFor(500 * time.Microsecond)
+		}
+	}
+	tb.RunFor(10 * time.Millisecond)
+	fmt.Printf("[%8.3fs] flows routed: %d SYNs, %d data packets\n",
+		tb.Eng.Now().Seconds(), lb.SYNsSent, lb.Routed)
+	for i, s := range servers {
+		fmt.Printf("  server %d (port %d): %d packets\n", i, ports[i], s.Echoed)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// In-network cache, end to end: the paper's Section 6.3 case study. A
+// client first deploys a frequent-item monitor on its key-value traffic,
+// extracts the hot set, context-switches the switch memory over to a cache,
+// populates it over the data plane, and watches its hit rate stabilize —
+// all without touching the switch image.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"activermt/internal/apps"
+	"activermt/internal/testbed"
+	"activermt/internal/workload"
+)
+
+func main() {
+	tb, err := testbed.New(testbed.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A plain UDP key-value server: what the cache offloads.
+	srv := apps.NewKVServer(tb.Eng, testbed.MACFor(200), testbed.IPFor(999))
+	_, sp := tb.Attach(srv, srv.MAC())
+	srv.Attach(sp)
+
+	// Workload: 4096 keys, Zipf-distributed requests.
+	const nkeys = 4096
+	zipf := workload.NewZipf(7, 1.25, nkeys)
+	keys := make([][2]uint32, nkeys)
+	values := map[uint64]uint32{}
+	for i := range keys {
+		k0, k1, v := uint32(i)*2654435761+3, uint32(i)*2246822519+11, uint32(0xBEEF0000+i)
+		keys[i] = [2]uint32{k0, k1}
+		srv.Store[apps.KeyOf(k0, k1)] = v
+		values[apps.KeyOf(k0, k1)] = v
+	}
+
+	// Phase 1: deploy the frequent-item monitor (count-min sketch + hot-key
+	// table, Appendix B.1) and activate requests with it for two seconds.
+	hh := apps.NewHeavyHitter(30)
+	hhCl := tb.AddClient(1001, apps.HeavyHitterService(hh))
+	hh.Bind(hhCl)
+	hh.SnapshotFn = tb.SnapshotFn()
+	must(hhCl.RequestAllocation())
+	must(tb.WaitOperational(hhCl, 5*time.Second))
+	fmt.Printf("[%6.3fs] monitor deployed (mutant %v)\n", tb.Eng.Now().Seconds(), hhCl.Placement().Mutant)
+
+	stop := tb.Eng.Now() + 2*time.Second
+	for tb.Eng.Now() < stop {
+		k := keys[zipf.Next()]
+		msg := apps.KVMsg{Op: apps.KVGet, Key0: k[0], Key1: k[1]}
+		payload := apps.BuildUDP(testbed.IPFor(1), testbed.IPFor(999), 40001, apps.KVPort, msg.Encode())
+		hh.Observe(k[0], k[1], payload, srv.MAC())
+		tb.RunFor(100 * time.Microsecond)
+	}
+
+	// Phase 2: memory synchronization — read the hot set out of switch
+	// memory via the control plane.
+	hot, err := hh.HotKeys()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[%6.3fs] monitor found %d hot keys\n", tb.Eng.Now().Seconds(), len(hot))
+
+	// Phase 3: context switch — release the monitor, deploy the cache
+	// (Listing 1) in its place. This is the runtime reprogrammability the
+	// paper is about: seconds, not a P4 recompile.
+	start := tb.Eng.Now()
+	must(hhCl.Release())
+	tb.RunFor(200 * time.Millisecond)
+
+	cache := apps.NewCache(srv.MAC(), testbed.IPFor(1), testbed.IPFor(999))
+	cacheCl := tb.AddClient(1, apps.CacheService(cache))
+	cache.Bind(cacheCl)
+	must(cacheCl.RequestAllocation())
+	must(tb.WaitOperational(cacheCl, 5*time.Second))
+	fmt.Printf("[%6.3fs] context switch done in %.3fs; cache capacity %d buckets\n",
+		tb.Eng.Now().Seconds(), (tb.Eng.Now() - start).Seconds(), cache.Capacity())
+
+	// Phase 4: populate with the measured hot set and serve.
+	var hotObjs []apps.KVMsg
+	for _, kv := range hot {
+		hotObjs = append(hotObjs, apps.KVMsg{Key0: kv.Key0, Key1: kv.Key1, Value: values[apps.KeyOf(kv.Key0, kv.Key1)]})
+	}
+	cache.SetHotObjects(hotObjs)
+	cache.Populate()
+	tb.RunFor(20 * time.Millisecond)
+
+	for window := 0; window < 4; window++ {
+		cache.ResetStats()
+		for i := 0; i < 5000; i++ {
+			k := keys[zipf.Next()]
+			cache.Get(k[0], k[1])
+			tb.RunFor(100 * time.Microsecond)
+		}
+		tb.RunFor(5 * time.Millisecond)
+		fmt.Printf("[%6.3fs] hit rate %.3f (%d hits / %d misses)\n",
+			tb.Eng.Now().Seconds(), cache.HitRate(), cache.Hits, cache.Misses)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

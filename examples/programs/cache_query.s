@@ -1,0 +1,15 @@
+// Listing 1: query an in-network object cache (8-byte keys, 4-byte values).
+// data[0]/data[1] carry the key halves; data[2] the client-translated
+// bucket address; on a hit the value returns in data[0].
+.arg ADDR 2
+MAR_LOAD $ADDR      // locate bucket
+MEM_READ            // first 4 bytes
+MBR_EQUALS_DATA_1   // compare bytes
+CRET                // partial match?
+MEM_READ            // next 4 bytes
+MBR_EQUALS_DATA_2   // compare bytes
+CRET                // full match?
+RTS                 // create reply
+MEM_READ            // read the value
+MBR_STORE           // write to packet
+RETURN              // fin.

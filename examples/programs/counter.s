@@ -1,0 +1,8 @@
+// Quickstart: a per-address packet counter. data[2] = counter address; the
+// running count returns to the sender in data[0].
+.arg ADDR 2
+MAR_LOAD $ADDR
+MEM_INCREMENT
+MBR_STORE 0
+RTS
+RETURN

@@ -1,0 +1,23 @@
+// Appendix B.1 (adapted): frequent-item monitor. Two count-min-sketch rows
+// (hash-addressed via switch-side translation) and a hot-key fingerprint
+// table; data[2] carries the hotness threshold.
+MBR_LOAD 0          // key half 0
+COPY_HASHDATA_MBR 0
+HASH                // row 1 index (stage-seeded function)
+ADDR_MASK
+ADDR_OFFSET
+MEM_INCREMENT       // c1
+COPY_MBR2_MBR       // save c1
+HASH                // row 2 index (different stage, different function)
+ADDR_MASK
+ADDR_OFFSET
+MEM_MINREADINC      // MBR2 = min(c1, c2) = sketched count
+MBR_LOAD 2          // threshold
+MIN
+MBR_EQUALS_MBR2     // zero iff count <= threshold
+CRETI               // not hot: forward
+ADDR_MASK           // fold the row-2 address into the key table
+ADDR_OFFSET
+MBR_LOAD 0          // fingerprint
+MEM_WRITE
+RETURN

@@ -1,0 +1,11 @@
+// Appendix B.2.2: Cheetah stateless flow routing. data[1] = cookie,
+// data[2] = salt; no switch memory at all.
+COPY_HASHDATA_5TUPLE
+MBR_LOAD 2
+COPY_HASHDATA_MBR 2
+HASH 1
+COPY_MBR_MAR
+MBR2_LOAD 1
+MBR_EQUALS_MBR2     // port = h ^ cookie
+SET_DST
+RETURN

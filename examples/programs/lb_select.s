@@ -1,0 +1,21 @@
+// Appendix B.2.1 (adapted): Cheetah server selection, carried on SYNs.
+// data[0] = pool mask, data[1] <- cookie, data[2] = salt, data[3] = counter
+// address (client-translated).
+.arg CTR 3
+COPY_HASHDATA_5TUPLE
+MAR_LOAD $CTR       // round-robin counter
+MEM_INCREMENT       // ticket
+COPY_MAR_MBR
+MBR_LOAD 0          // pool mask
+BIT_AND_MAR_MBR     // pool index
+ADDR_OFFSET         // + pool region base
+MEM_READ            // server port
+SET_DST             // route the SYN there
+COPY_MBR2_MBR
+MBR_LOAD 2          // salt
+COPY_HASHDATA_MBR 2
+HASH 1              // fixed hash unit: stage-independent
+COPY_MBR_MAR
+MBR_EQUALS_MBR2     // cookie = h ^ port
+MBR_STORE 1
+RETURN

@@ -1,0 +1,9 @@
+// Appendix C, Listing 5 (on the shared memsync skeleton): remotely read one
+// memory word. data[2] = address; the value returns in data[0].
+.arg ADDR 2
+NOP
+MAR_LOAD $ADDR
+MEM_READ
+MBR_STORE 0
+RTS
+RETURN

@@ -1,0 +1,9 @@
+// Appendix C, Listing 6: remotely write one memory word. data[0] = value,
+// data[2] = address; the RTS acknowledges the (idempotent) write.
+.arg VAL 0
+.arg ADDR 2
+MBR_LOAD $VAL
+MAR_LOAD $ADDR
+MEM_WRITE
+RTS
+RETURN

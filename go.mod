@@ -1,0 +1,3 @@
+module activermt
+
+go 1.22

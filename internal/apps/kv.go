@@ -1,0 +1,163 @@
+// Package apps implements the paper's exemplar active services on top of
+// the client shim: the full-featured in-network cache of Sections 3.4/6.3
+// (query, populate, readback programs plus cache management), the
+// frequent-item (heavy-hitter) monitor of Appendix B.1, the Cheetah load
+// balancer of Appendix B.2, and the memory-synchronization programs of
+// Appendix C. It also provides the plain UDP key-value server the cache
+// experiments run against.
+package apps
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"time"
+
+	"activermt/internal/netsim"
+	"activermt/internal/packet"
+)
+
+// KV message opcodes (the application-level protocol the cache accelerates).
+const (
+	KVGet  = 0x01
+	KVPut  = 0x02
+	KVResp = 0x03
+)
+
+// KVMsg is the application-level key-value message carried in UDP payloads:
+// 8-byte keys, 4-byte values (the object sizes of Section 3.4).
+type KVMsg struct {
+	Op           uint8
+	Key0, Key1   uint32
+	Value        uint32
+	Seq          uint32 // request sequence number for RTT accounting
+}
+
+// KVMsgSize is the encoded size.
+const KVMsgSize = 1 + 4 + 4 + 4 + 4
+
+// KVPort is the UDP port of the KV service.
+const KVPort = 9700
+
+// Encode renders the message.
+func (m *KVMsg) Encode() []byte {
+	b := make([]byte, KVMsgSize)
+	b[0] = m.Op
+	binary.BigEndian.PutUint32(b[1:], m.Key0)
+	binary.BigEndian.PutUint32(b[5:], m.Key1)
+	binary.BigEndian.PutUint32(b[9:], m.Value)
+	binary.BigEndian.PutUint32(b[13:], m.Seq)
+	return b
+}
+
+// DecodeKVMsg parses a message.
+func DecodeKVMsg(b []byte) (KVMsg, bool) {
+	var m KVMsg
+	if len(b) < KVMsgSize {
+		return m, false
+	}
+	m.Op = b[0]
+	m.Key0 = binary.BigEndian.Uint32(b[1:])
+	m.Key1 = binary.BigEndian.Uint32(b[5:])
+	m.Value = binary.BigEndian.Uint32(b[9:])
+	m.Seq = binary.BigEndian.Uint32(b[13:])
+	return m, true
+}
+
+// BuildUDP wraps a payload in IPv4+UDP for the simulated network (giving
+// active programs a real 5-tuple to hash).
+func BuildUDP(src, dst netip.Addr, sport, dport uint16, payload []byte) []byte {
+	udp := packet.UDPHeader{SrcPort: sport, DstPort: dport, Length: uint16(packet.UDPHeaderSize + len(payload))}
+	ip := packet.IPv4Header{
+		TotalLen: uint16(packet.IPv4HeaderSize + packet.UDPHeaderSize + len(payload)),
+		TTL:      64, Protocol: packet.ProtoUDP,
+		Src: src, Dst: dst,
+	}
+	out := ip.Encode(make([]byte, 0, int(ip.TotalLen)))
+	out = udp.Encode(out)
+	return append(out, payload...)
+}
+
+// ParseUDP unwraps an IPv4+UDP payload.
+func ParseUDP(b []byte) (packet.IPv4Header, packet.UDPHeader, []byte, bool) {
+	ip, rest, err := packet.DecodeIPv4(b)
+	if err != nil || ip.Protocol != packet.ProtoUDP {
+		return packet.IPv4Header{}, packet.UDPHeader{}, nil, false
+	}
+	udp, body, err := packet.DecodeUDP(rest)
+	if err != nil {
+		return packet.IPv4Header{}, packet.UDPHeader{}, nil, false
+	}
+	return ip, udp, body, true
+}
+
+// KVServer is a plain UDP key-value server: the backend the in-network
+// cache offloads. It answers GETs from its object store and acknowledges
+// PUTs.
+type KVServer struct {
+	eng  *netsim.Engine
+	port *netsim.Port
+	mac  packet.MAC
+	ip   netip.Addr
+
+	Store map[uint64]uint32
+
+	// Requests counts GETs served (cache misses reaching the server).
+	Requests, Puts uint64
+	// ServiceTime models server-side processing before the reply.
+	ServiceTime time.Duration
+}
+
+// NewKVServer returns a server with an empty store.
+func NewKVServer(eng *netsim.Engine, mac packet.MAC, ip netip.Addr) *KVServer {
+	return &KVServer{eng: eng, mac: mac, ip: ip, Store: make(map[uint64]uint32)}
+}
+
+// Attach wires the server NIC.
+func (s *KVServer) Attach(p *netsim.Port) { s.port = p }
+
+// MAC returns the server's address.
+func (s *KVServer) MAC() packet.MAC { return s.mac }
+
+// KeyOf packs a key pair.
+func KeyOf(k0, k1 uint32) uint64 { return uint64(k0)<<32 | uint64(k1) }
+
+// Receive implements netsim.Endpoint: answer KV requests. Both plain frames
+// and active frames that carried a (missed) query reach here; active
+// headers are ignored — the server operates on the TCP/IP payload, exactly
+// as the paper prescribes (active programs never touch payloads).
+func (s *KVServer) Receive(frame []byte, port *netsim.Port) {
+	f, err := packet.DecodeFrame(frame)
+	if err != nil {
+		return
+	}
+	ip, udp, body, ok := ParseUDP(f.Inner)
+	if !ok || udp.DstPort != KVPort {
+		return
+	}
+	msg, ok := DecodeKVMsg(body)
+	if !ok {
+		return
+	}
+	var resp KVMsg
+	switch msg.Op {
+	case KVGet:
+		s.Requests++
+		resp = KVMsg{Op: KVResp, Key0: msg.Key0, Key1: msg.Key1, Value: s.Store[KeyOf(msg.Key0, msg.Key1)], Seq: msg.Seq}
+	case KVPut:
+		s.Puts++
+		s.Store[KeyOf(msg.Key0, msg.Key1)] = msg.Value
+		resp = KVMsg{Op: KVResp, Key0: msg.Key0, Key1: msg.Key1, Value: msg.Value, Seq: msg.Seq}
+	default:
+		return
+	}
+	payload := BuildUDP(s.ip, ip.Src, KVPort, udp.SrcPort, resp.Encode())
+	out := &packet.Frame{
+		Eth:   packet.EthHeader{Dst: f.Eth.Src, Src: s.mac, EtherType: packet.EtherTypeIPv4},
+		Inner: payload,
+	}
+	raw, err := packet.EncodeFrame(out)
+	if err != nil {
+		return
+	}
+	s.eng.Schedule(s.ServiceTime, func() { s.port.Send(raw) })
+}

@@ -1,0 +1,60 @@
+package apps
+
+import (
+	"activermt/internal/client"
+	"activermt/internal/isa"
+)
+
+// Mirror is a stateless traffic-mirroring service built on FORK: every
+// activated packet is cloned through a mirror session (the FORK operand
+// selects the session; the controller installs the session's collector
+// port) while the original continues to its destination. This exercises
+// the paper's FORK instruction ("creates a clone of the current packet and
+// continues execution — similar to a fork() system call") in a realistic
+// telemetry role.
+//
+// FORK costs a recirculation per clone (Section 3.1), which is exactly the
+// bandwidth-inflation vector the Section 7.2 fairness controller polices —
+// see the abl-recirc ablation.
+
+// MirrorSessionID is the clone session the mirror service uses.
+const MirrorSessionID = 1
+
+// mirrorProg clones the packet and forwards the original unchanged.
+var mirrorProg = isa.MustAssemble("mirror", `
+FORK 1              // clone via mirror session 1
+RETURN
+`)
+
+// MirrorService defines the stateless mirroring service.
+func MirrorService() *client.Service {
+	return &client.Service{
+		Name: "mirror",
+		Main: "main",
+		Templates: map[string]*isa.Program{
+			"main": mirrorProg,
+		},
+	}
+}
+
+// Mirror wraps the shim client for the mirroring service. The collector
+// port is control-plane state: install it with
+// runtime.SetMirrorSession(fid, MirrorSessionID, port) after admission.
+type Mirror struct {
+	Client *client.Client
+
+	Mirrored uint64
+}
+
+// NewMirror returns the app shell; Bind after client.New.
+func NewMirror() *Mirror { return &Mirror{} }
+
+// Bind attaches the shim client.
+func (m *Mirror) Bind(cl *client.Client) { m.Client = cl }
+
+// Activate sends one payload with the mirroring program attached: the
+// switch delivers the original to dst and a copy to the collector.
+func (m *Mirror) Activate(payload []byte, dst [6]byte) {
+	m.Mirrored++
+	_ = m.Client.SendProgram("main", [4]uint32{}, 0, payload, dst)
+}

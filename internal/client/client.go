@@ -1,0 +1,481 @@
+// Package client implements the ActiveRMT end-host shim layer (Sections 3.3
+// and 5): allocation negotiation, mutant synthesis on allocation responses,
+// packet activation, and the reallocation protocol (snapshot window ->
+// snapshot-done -> resume). A state machine tracks whether a service is
+// operational, negotiating, or performing memory management; active
+// transmissions are paused outside the operational state and traffic is
+// forwarded unactivated, exactly the behavior behind the zero-hit-rate
+// windows of Figure 10.
+package client
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"activermt/internal/alloc"
+	"activermt/internal/compiler"
+	"activermt/internal/isa"
+	"activermt/internal/netsim"
+	"activermt/internal/packet"
+)
+
+// State is the shim-layer state of a service (Section 5).
+type State int
+
+// Client states.
+const (
+	Idle        State = iota // no allocation
+	Negotiating              // allocation requested, awaiting response
+	Operational              // active programs flowing
+	MemMgmt                  // reallocation snapshot window
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Negotiating:
+		return "negotiating"
+	case Operational:
+		return "operational"
+	case MemMgmt:
+		return "memory-management"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Service defines an active application: a set of program templates sharing
+// one memory-access skeleton (so every template synthesizes against the same
+// mutant), the per-access demands, and lifecycle callbacks.
+type Service struct {
+	Name string
+	// Templates are the service's programs; all must have identical
+	// memory-access instruction indices. Main names the template whose
+	// constraints drive allocation.
+	Templates map[string]*isa.Program
+	Main      string
+	Specs     []compiler.AccessSpec
+	Elastic   bool
+
+	// OnOperational fires whenever the service (re)enters the operational
+	// state: after first admission and after each reallocation completes.
+	OnOperational func(c *Client)
+	// OnReallocate runs during the snapshot window: the old regions are
+	// still installed (and FlagMemSync programs still execute), so the
+	// handler can extract state; it must call done() to release the
+	// switch. newPl is the placement that will apply afterward.
+	OnReallocate func(c *Client, oldPl, newPl *alloc.Placement, done func())
+	// OnFailed fires when an allocation request is rejected.
+	OnFailed func(c *Client)
+}
+
+// Constraints derives the service's allocation constraints from its main
+// template and verifies all templates share the access skeleton.
+func (s *Service) Constraints() (*alloc.Constraints, error) {
+	main, ok := s.Templates[s.Main]
+	if !ok {
+		return nil, fmt.Errorf("client: service %q missing main template %q", s.Name, s.Main)
+	}
+	cons, err := compiler.Extract(main, s.Elastic, s.Specs)
+	if err != nil {
+		return nil, err
+	}
+	want := main.MemoryAccessIndices()
+	names := make([]string, 0, len(s.Templates))
+	for n := range s.Templates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := s.Templates[n]
+		got := p.MemoryAccessIndices()
+		if len(got) != len(want) {
+			return nil, fmt.Errorf("client: template %q has %d accesses, main has %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return nil, fmt.Errorf("client: template %q access %d at %d, main at %d", n, i, got[i], want[i])
+			}
+		}
+		if p.Len() > cons.ProgLen {
+			cons.ProgLen = p.Len()
+		}
+		if ing := p.IngressOnlyIndices(); len(ing) > 0 && ing[len(ing)-1] > cons.IngressIdx {
+			cons.IngressIdx = ing[len(ing)-1]
+		}
+	}
+	return cons, nil
+}
+
+// PolicyBitLC aliases the wire-format policy bit (Section 3.3).
+const PolicyBitLC = packet.PolicyBitLC
+
+// Pipeline describes the switch pipeline shape the client compiles against;
+// it must match the switch configuration for the shared mutant enumeration
+// to agree.
+type Pipeline struct {
+	NumStages  int
+	NumIngress int
+	MaxPasses  int
+}
+
+// DefaultPipeline matches the paper's 20-stage switch.
+func DefaultPipeline() Pipeline {
+	return Pipeline{NumStages: packet.NumStages, NumIngress: packet.NumStages / 2, MaxPasses: 2}
+}
+
+// Client is one end-host service instance speaking the ActiveRMT protocol.
+type Client struct {
+	eng       *netsim.Engine
+	port      *netsim.Port
+	mac       packet.MAC
+	switchMAC packet.MAC
+	fid       uint16
+	svc       *Service
+
+	// Pipeline is the switch shape the client compiles against.
+	Pipeline Pipeline
+
+	// RetryAfter rearms unanswered allocation requests (the shim polls the
+	// controller; requests and responses can be lost). Zero disables
+	// retries.
+	RetryAfter time.Duration
+
+	state     State
+	placement *alloc.Placement
+	progs     map[string]*isa.Program // synthesized per current placement
+
+	// Handler receives every non-protocol frame addressed to this host
+	// (RTS replies, forwarded traffic). Optional.
+	Handler func(c *Client, f *packet.Frame)
+
+	// Counters.
+	Sent, SentUnactivated, Received uint64
+	Reallocations, Retries          uint64
+
+	reqEpoch uint64
+}
+
+// New builds a client for fid running svc.
+func New(eng *netsim.Engine, fid uint16, mac, switchMAC packet.MAC, svc *Service) *Client {
+	if svc.Main == "" {
+		svc.Main = "main"
+	}
+	return &Client{
+		eng:       eng,
+		mac:       mac,
+		switchMAC: switchMAC,
+		fid:       fid,
+		svc:       svc,
+		Pipeline:  DefaultPipeline(),
+		progs:     map[string]*isa.Program{},
+	}
+}
+
+// Attach wires the client's NIC port.
+func (c *Client) Attach(p *netsim.Port) { c.port = p }
+
+// Port returns the attached NIC port (nil before Attach).
+func (c *Client) Port() *netsim.Port { return c.port }
+
+// FID returns the client's flow/program identifier.
+func (c *Client) FID() uint16 { return c.fid }
+
+// MAC returns the client's address.
+func (c *Client) MAC() packet.MAC { return c.mac }
+
+// State returns the shim state.
+func (c *Client) State() State { return c.state }
+
+// Operational reports whether active transmissions are enabled.
+func (c *Client) Operational() bool { return c.state == Operational }
+
+// Placement returns the current allocation (nil before admission).
+func (c *Client) Placement() *alloc.Placement { return c.placement }
+
+// Engine returns the simulation engine (for app timers).
+func (c *Client) Engine() *netsim.Engine { return c.eng }
+
+// Service returns the service definition.
+func (c *Client) Service() *Service { return c.svc }
+
+// Program returns the synthesized template by name (nil before admission).
+func (c *Client) Program(name string) *isa.Program { return c.progs[name] }
+
+// RequestAllocation sends the allocation request derived from the service's
+// constraints, retrying while unanswered if RetryAfter is set.
+func (c *Client) RequestAllocation() error {
+	cons, err := c.svc.Constraints()
+	if err != nil {
+		return err
+	}
+	req, err := cons.ToRequest()
+	if err != nil {
+		return err
+	}
+	a := &packet.Active{Header: packet.ActiveHeader{FID: c.fid}, AllocReq: req}
+	a.Header.SetType(packet.TypeAllocReq)
+	c.state = Negotiating
+	c.reqEpoch++
+	if c.RetryAfter > 0 {
+		epoch := c.reqEpoch
+		var rearm func()
+		rearm = func() {
+			c.eng.Schedule(c.RetryAfter, func() {
+				if c.state != Negotiating || c.reqEpoch != epoch {
+					return
+				}
+				c.Retries++
+				_ = c.sendActive(a, c.switchMAC)
+				rearm()
+			})
+		}
+		rearm()
+	}
+	return c.sendActive(a, c.switchMAC)
+}
+
+// Release relinquishes the allocation.
+func (c *Client) Release() error {
+	a := &packet.Active{Header: packet.ActiveHeader{FID: c.fid, Flags: packet.FlagRelease}}
+	a.Header.SetType(packet.TypeControl)
+	c.state = Negotiating
+	return c.sendActive(a, c.switchMAC)
+}
+
+// sendSnapDone signals the controller that state extraction finished.
+func (c *Client) sendSnapDone() {
+	a := &packet.Active{Header: packet.ActiveHeader{FID: c.fid, Flags: packet.FlagSnapDone}}
+	a.Header.SetType(packet.TypeControl)
+	_ = c.sendActive(a, c.switchMAC)
+}
+
+func (c *Client) sendActive(a *packet.Active, dst packet.MAC) error {
+	if c.port == nil {
+		return fmt.Errorf("client: fid %d not attached", c.fid)
+	}
+	f := &packet.Frame{
+		Eth:    packet.EthHeader{Dst: dst, Src: c.mac, EtherType: packet.EtherTypeActive},
+		Active: a,
+		Inner:  a.Payload,
+	}
+	raw, err := packet.EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	c.Sent++
+	c.port.Send(raw)
+	return nil
+}
+
+// SendProgram activates a packet with the synthesized template and sends it
+// toward dst. Outside the operational state the payload is forwarded
+// unactivated (the paper pauses active transmissions while negotiating or
+// managing memory). extraFlags lets callers set FlagMemSync, FlagPreload,
+// or FlagNoShrink.
+func (c *Client) SendProgram(name string, args [4]uint32, extraFlags uint16, payload []byte, dst packet.MAC) error {
+	memsync := extraFlags&packet.FlagMemSync != 0
+	if (c.state != Operational && !memsync) || c.progs[name] == nil {
+		return c.SendPlain(payload, dst)
+	}
+	a := &packet.Active{
+		Header:  packet.ActiveHeader{FID: c.fid, Flags: extraFlags},
+		Args:    args,
+		Program: c.progs[name],
+		Payload: payload,
+	}
+	a.Header.SetType(packet.TypeProgram)
+	return c.sendActive(a, dst)
+}
+
+// SendPlain sends an unactivated frame.
+func (c *Client) SendPlain(payload []byte, dst packet.MAC) error {
+	if c.port == nil {
+		return fmt.Errorf("client: fid %d not attached", c.fid)
+	}
+	f := &packet.Frame{
+		Eth:   packet.EthHeader{Dst: dst, Src: c.mac, EtherType: packet.EtherTypeIPv4},
+		Inner: payload,
+	}
+	raw, err := packet.EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	c.Sent++
+	c.SentUnactivated++
+	c.port.Send(raw)
+	return nil
+}
+
+// Receive implements netsim.Endpoint.
+func (c *Client) Receive(frame []byte, port *netsim.Port) {
+	c.Received++
+	f, err := packet.DecodeFrame(frame)
+	if err != nil {
+		return
+	}
+	if f.Active == nil {
+		c.deliver(f)
+		return
+	}
+	h := f.Active.Header
+	if h.FID != c.fid {
+		c.deliver(f)
+		return
+	}
+	switch {
+	case h.Type() == packet.TypeAllocResp && h.Flags&packet.FlagFailed != 0:
+		c.state = Idle
+		if c.svc.OnFailed != nil {
+			c.svc.OnFailed(c)
+		}
+	case h.Type() == packet.TypeAllocResp && h.Flags&packet.FlagRealloc != 0:
+		c.beginRealloc(f.Active.AllocResp)
+	case h.Type() == packet.TypeAllocResp:
+		c.applyAllocation(f.Active.AllocResp)
+	case h.Type() == packet.TypeControl && h.Flags&packet.FlagRealloc != 0 && h.Flags&packet.FlagDone != 0:
+		// Reactivation notice: reallocation applied, resume.
+		c.state = Operational
+		if c.svc.OnOperational != nil {
+			c.svc.OnOperational(c)
+		}
+	case h.Type() == packet.TypeControl && h.Flags&packet.FlagRelease != 0 && h.Flags&packet.FlagDone != 0:
+		c.state = Idle
+		c.placement = nil
+		c.progs = map[string]*isa.Program{}
+	default:
+		c.deliver(f)
+	}
+}
+
+func (c *Client) deliver(f *packet.Frame) {
+	if c.Handler != nil {
+		c.Handler(c, f)
+	}
+}
+
+// placementFromResponse reconstructs the placement from the wire response
+// using the shared mutant enumeration (Section 3.3: the response names the
+// mutant by index; grants are per physical stage).
+func (c *Client) placementFromResponse(resp *packet.AllocResponse) (*alloc.Placement, error) {
+	cons, err := c.svc.Constraints()
+	if err != nil {
+		return nil, err
+	}
+	// Stages with non-empty grants, ascending, are the access stages of
+	// the selected mutant's physical projection; logical stages come from
+	// re-enumerating the shared order.
+	pl := &alloc.Placement{FID: c.fid, MutantIdx: int(resp.MutantIndex &^ PolicyBitLC)}
+	if len(cons.Accesses) == 0 {
+		return pl, nil // stateless service: nothing granted, nothing to map
+	}
+	mutant, err := c.mutantByIndex(cons, int(resp.MutantIndex))
+	if err != nil {
+		return nil, err
+	}
+	pl.Mutant = mutant
+	for i := range cons.Accesses {
+		logical := mutant[i]
+		g := resp.Grants[logical%c.Pipeline.NumStages]
+		if g.Empty() {
+			return nil, fmt.Errorf("client: empty grant for access %d (stage %d)", i, logical%packet.NumStages)
+		}
+		pl.Accesses = append(pl.Accesses, alloc.AccessPlacement{
+			Logical: logical,
+			Range:   alloc.WordRange{Lo: g.Start, Hi: g.End},
+		})
+	}
+	return pl, nil
+}
+
+// mutantByIndex re-enumerates the feasibility region exactly as the switch
+// does and picks the named mutant. The response's index encodes the policy
+// in its top bit (PolicyBitLC), so both sides enumerate the same order.
+func (c *Client) mutantByIndex(cons *alloc.Constraints, idx int) (alloc.Mutant, error) {
+	pol := alloc.MostConstrained
+	if uint32(idx)&PolicyBitLC != 0 {
+		pol = alloc.LeastConstrained
+		idx = int(uint32(idx) &^ PolicyBitLC)
+	}
+	b, err := alloc.ComputeBounds(cons, pol, c.Pipeline.NumStages, c.Pipeline.NumIngress, c.Pipeline.MaxPasses)
+	if err != nil {
+		return nil, err
+	}
+	ms := alloc.EnumerateMutants(b, c.Pipeline.NumStages)
+	if idx >= len(ms) {
+		return nil, fmt.Errorf("client: mutant index %d out of range (%d mutants)", idx, len(ms))
+	}
+	return ms[idx], nil
+}
+
+func (c *Client) applyAllocation(resp *packet.AllocResponse) {
+	pl, err := c.placementFromResponse(resp)
+	if err != nil {
+		c.state = Idle
+		if c.svc.OnFailed != nil {
+			c.svc.OnFailed(c)
+		}
+		return
+	}
+	if err := c.synthesizeAll(pl); err != nil {
+		c.state = Idle
+		if c.svc.OnFailed != nil {
+			c.svc.OnFailed(c)
+		}
+		return
+	}
+	c.placement = pl
+	c.state = Operational
+	if c.svc.OnOperational != nil {
+		c.svc.OnOperational(c)
+	}
+}
+
+func (c *Client) beginRealloc(resp *packet.AllocResponse) {
+	c.Reallocations++
+	c.state = MemMgmt
+	newPl, err := c.placementFromResponse(resp)
+	if err != nil {
+		// Cannot interpret the new placement: release the switch anyway.
+		c.sendSnapDone()
+		return
+	}
+	old := c.placement
+	finish := func() {
+		// Regions move but the mutant is unchanged; re-link programs for
+		// the new regions and signal the controller.
+		if err := c.synthesizeAll(newPl); err == nil {
+			c.placement = newPl
+		}
+		c.sendSnapDone()
+	}
+	if c.svc.OnReallocate != nil {
+		c.svc.OnReallocate(c, old, newPl, finish)
+	} else {
+		finish()
+	}
+}
+
+// synthesizeAll builds every template's mutant for the placement.
+func (c *Client) synthesizeAll(pl *alloc.Placement) error {
+	progs := map[string]*isa.Program{}
+	names := make([]string, 0, len(c.svc.Templates))
+	for n := range c.svc.Templates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p, err := compiler.SynthesizeForPlacement(c.svc.Templates[n], pl)
+		if err != nil {
+			return err
+		}
+		if err := compiler.Verify(p, pl); err != nil {
+			return err
+		}
+		progs[n] = p
+	}
+	c.progs = progs
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package compiler implements ActiveRMT's client-side compiler (Section 5):
+// it extracts allocation constraints from a program, synthesizes the mutant
+// selected by the switch (NOP insertion, Section 4.1), and verifies the
+// result against the granted placement. Address translation for
+// direct-addressed programs is the application's concern (it knows its
+// memory layout); the compiler supplies the placement arithmetic apps build
+// on.
+package compiler
+
+import (
+	"fmt"
+
+	"activermt/internal/packet"
+
+	"activermt/internal/alloc"
+	"activermt/internal/isa"
+)
+
+// AccessSpec annotates one memory access of a program, in program order:
+// how many blocks it needs (0 for elastic) and its alignment group.
+type AccessSpec struct {
+	Demand     int
+	AlignGroup int
+}
+
+// Extract derives allocation constraints from a program. specs must have
+// one entry per memory-access instruction; pass nil for an all-elastic,
+// ungrouped footprint.
+func Extract(p *isa.Program, elastic bool, specs []AccessSpec) (*alloc.Constraints, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: %w", err)
+	}
+	accIdx := p.MemoryAccessIndices()
+	if specs != nil && len(specs) != len(accIdx) {
+		return nil, fmt.Errorf("compiler: %d specs for %d accesses", len(specs), len(accIdx))
+	}
+	c := &alloc.Constraints{
+		Name:       p.Name,
+		ProgLen:    p.Len(),
+		IngressIdx: -1,
+		Elastic:    elastic,
+	}
+	if ing := p.IngressOnlyIndices(); len(ing) > 0 {
+		c.IngressIdx = ing[len(ing)-1]
+	}
+	for i, idx := range accIdx {
+		a := alloc.Access{Index: idx}
+		if specs != nil {
+			a.Demand = specs[i].Demand
+			a.AlignGroup = specs[i].AlignGroup
+		}
+		c.Accesses = append(c.Accesses, a)
+	}
+	return c, nil
+}
+
+// Synthesize builds the program mutant whose memory accesses land on the
+// given logical stages, by inserting NOPs immediately before access
+// instructions (Figure 4). The mutant must dominate the program's compact
+// placement: mutant[i] >= access index i, gaps non-decreasing.
+func Synthesize(p *isa.Program, mutant alloc.Mutant) (*isa.Program, error) {
+	accIdx := p.MemoryAccessIndices()
+	if len(mutant) != len(accIdx) {
+		return nil, fmt.Errorf("compiler: mutant arity %d != %d accesses", len(mutant), len(accIdx))
+	}
+	out := p.Clone()
+	shift := 0
+	for i, target := range mutant {
+		cur := accIdx[i] + shift
+		need := target - cur
+		if need < 0 {
+			return nil, fmt.Errorf("compiler: access %d cannot move backward (%d -> %d)", i, cur, target)
+		}
+		out = out.InsertNops(cur, need)
+		shift += need
+	}
+	// Post-condition: the mutant's accesses are exactly where asked.
+	got := out.MemoryAccessIndices()
+	for i, target := range mutant {
+		if got[i] != target {
+			return nil, fmt.Errorf("compiler: synthesis mismatch at access %d: %d != %d", i, got[i], target)
+		}
+	}
+	return out, nil
+}
+
+// SynthesizeForPlacement is the path clients take on receipt of an
+// allocation response: rebuild the exact mutant the switch selected.
+func SynthesizeForPlacement(p *isa.Program, pl *alloc.Placement) (*isa.Program, error) {
+	return Synthesize(p, pl.Mutant)
+}
+
+// Passes returns the pipeline passes a synthesized program consumes on an
+// n-stage pipeline.
+func Passes(p *isa.Program, numStages int) int {
+	if p.Len() == 0 {
+		return 1
+	}
+	return (p.Len() + numStages - 1) / numStages
+}
+
+// FitsIngress reports whether every ingress-only instruction of the program
+// executes in the ingress pipeline of its pass (no port-change
+// recirculation).
+func FitsIngress(p *isa.Program, numStages, numIngress int) bool {
+	for _, idx := range p.IngressOnlyIndices() {
+		if idx%numStages >= numIngress {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify cross-checks a synthesized mutant against its placement: every
+// access sits on the granted logical stage and every granted region is
+// non-empty. Clients run this before activating traffic; a mismatch means a
+// desynchronized mutant enumeration, which would translate into protection
+// faults on the wire.
+func Verify(p *isa.Program, pl *alloc.Placement) error {
+	accIdx := p.MemoryAccessIndices()
+	if len(accIdx) != len(pl.Accesses) {
+		return fmt.Errorf("compiler: %d accesses vs %d grants", len(accIdx), len(pl.Accesses))
+	}
+	for i, idx := range accIdx {
+		g := pl.Accesses[i]
+		if idx != g.Logical {
+			return fmt.Errorf("compiler: access %d at %d, granted stage %d", i, idx, g.Logical)
+		}
+		if g.Range.Lo >= g.Range.Hi {
+			return fmt.Errorf("compiler: access %d has empty grant", i)
+		}
+	}
+	return nil
+}
+
+// OptimizePreload applies the paper's Appendix C "preloading" trick: a
+// program that begins by loading MAR from data[2] (and, for writes, MBR
+// from data[0]) can have those loads performed by the parser instead,
+// freeing the leading stages — which is what makes the first logical
+// stage's memory addressable. It returns the shortened program and the
+// header flags (packet.FlagPreload) the client must set; programs that
+// don't match the pattern come back unchanged with zero flags.
+func OptimizePreload(p *isa.Program) (*isa.Program, uint16) {
+	out := p.Clone()
+	var flags uint16
+	// The preload covers MAR <- data[2] and MBR <- data[0]; strip leading
+	// instructions matching either, in any order.
+	for len(out.Instrs) > 0 {
+		in := out.Instrs[0]
+		if in.Label != 0 {
+			break // a branch target must stay in the body
+		}
+		if in.Op == isa.OpMarLoad && in.Operand == 2 {
+			out.Instrs = out.Instrs[1:]
+			flags |= packet.FlagPreload
+			continue
+		}
+		if in.Op == isa.OpMbrLoad && in.Operand == 0 {
+			out.Instrs = out.Instrs[1:]
+			flags |= packet.FlagPreload
+			continue
+		}
+		break
+	}
+	if flags == 0 {
+		return p, 0
+	}
+	out.Name = p.Name + "+preload"
+	return out, flags
+}

@@ -1,0 +1,157 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembler text into a Program.
+//
+// Syntax, one instruction per line:
+//
+//	// comment, ; comment, # comment
+//	.arg NAME INDEX          map $NAME to data-field INDEX in later operands
+//	L1: MNEMONIC [operand]   optional "Ln:" label prefix (n in 1..7)
+//	CJUMP L1                 branch operands are labels
+//	MBR_LOAD $NAME           named data field (after .arg) or integer
+//	MBR_EQUALS_DATA_1        trailing _n ordinal means data field n-1
+//
+// The returned program is validated.
+func Assemble(name, src string) (*Program, error) {
+	p := &Program{Name: name}
+	args := map[string]uint8{}
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".arg") {
+			f := strings.Fields(line)
+			if len(f) != 3 {
+				return nil, fmt.Errorf("line %d: .arg NAME INDEX", lineno+1)
+			}
+			n, err := strconv.Atoi(f[2])
+			if err != nil || n < 0 || n > MaxOperand {
+				return nil, fmt.Errorf("line %d: bad .arg index %q", lineno+1, f[2])
+			}
+			args[f[1]] = uint8(n)
+			continue
+		}
+		in, err := parseLine(line, args)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble but panics on error; for package-level program
+// literals whose sources are compile-time constants.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(fmt.Sprintf("isa: assembling %s: %v", name, err))
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	for _, sep := range []string{"//", ";", "#"} {
+		if i := strings.Index(s, sep); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+func parseLine(line string, args map[string]uint8) (Instruction, error) {
+	var in Instruction
+	// Optional label prefix "Ln:".
+	if i := strings.Index(line, ":"); i > 0 {
+		lbl, err := parseLabel(strings.TrimSpace(line[:i]))
+		if err != nil {
+			return in, err
+		}
+		in.Label = lbl
+		line = strings.TrimSpace(line[i+1:])
+	}
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return in, fmt.Errorf("label without instruction")
+	}
+	mnemonic := f[0]
+	op, ok := OpcodeByName(mnemonic)
+	if !ok {
+		// Trailing _<n> ordinal form, e.g. MBR_EQUALS_DATA_1.
+		if i := strings.LastIndex(mnemonic, "_"); i > 0 {
+			if n, err := strconv.Atoi(mnemonic[i+1:]); err == nil && n >= 1 {
+				if base, ok2 := OpcodeByName(mnemonic[:i]); ok2 && base.HasOperand() {
+					op, ok = base, true
+					in.Operand = uint8(n - 1)
+				}
+			}
+		}
+	}
+	if !ok {
+		return in, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in.Op = op
+	if len(f) > 2 {
+		return in, fmt.Errorf("trailing tokens after operand: %q", f[2])
+	}
+	if len(f) == 2 {
+		v, err := parseOperand(op, f[1], args)
+		if err != nil {
+			return in, err
+		}
+		in.Operand = v
+	}
+	if err := in.Validate(); err != nil {
+		return in, err
+	}
+	return in, nil
+}
+
+func parseLabel(s string) (uint8, error) {
+	if len(s) < 2 || s[0] != 'L' {
+		return 0, fmt.Errorf("bad label %q (want L1..L%d)", s, MaxLabel)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 1 || n > MaxLabel {
+		return 0, fmt.Errorf("bad label %q (want L1..L%d)", s, MaxLabel)
+	}
+	return uint8(n), nil
+}
+
+func parseOperand(op Opcode, tok string, args map[string]uint8) (uint8, error) {
+	if op.IsBranch() {
+		return parseLabel(tok)
+	}
+	if strings.HasPrefix(tok, "$") {
+		v, ok := args[tok[1:]]
+		if !ok {
+			return 0, fmt.Errorf("undefined arg %q (missing .arg?)", tok)
+		}
+		return v, nil
+	}
+	n, err := strconv.Atoi(tok)
+	if err != nil || n < 0 || n > MaxOperand {
+		return 0, fmt.Errorf("bad operand %q", tok)
+	}
+	return uint8(n), nil
+}
+
+// Disassemble renders a program as assembler text that Assemble accepts.
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	for _, in := range p.Instrs {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

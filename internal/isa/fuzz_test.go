@@ -1,0 +1,46 @@
+package isa
+
+import "testing"
+
+// FuzzAssemble drives the assembler with arbitrary text; the invariant is
+// no panic, and anything that assembles must disassemble and re-assemble to
+// the same instructions.
+func FuzzAssemble(f *testing.F) {
+	f.Add("MAR_LOAD 2\nMEM_READ\nRTS\nRETURN")
+	f.Add(".arg X 1\nMBR_LOAD $X")
+	f.Add("L1: NOP")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		q, err := Assemble("fuzz", Disassemble(p))
+		if err != nil {
+			t.Fatalf("disassembly does not re-assemble: %v", err)
+		}
+		if q.Len() != p.Len() {
+			t.Fatalf("round trip changed length %d -> %d", p.Len(), q.Len())
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != q.Instrs[i] {
+				t.Fatalf("instr %d changed: %v -> %v", i, p.Instrs[i], q.Instrs[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeProgram covers the bytecode decoder.
+func FuzzDecodeProgram(f *testing.F) {
+	p := MustAssemble("seed", "NOP\nRETURN")
+	f.Add(p.Encode(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		q, n, err := DecodeProgram(b)
+		if err != nil {
+			return
+		}
+		if n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		_ = q.Encode(nil)
+	})
+}

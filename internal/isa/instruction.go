@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Flag-byte bit layout (see the package comment).
+const (
+	flagExecuted  = 0x80
+	flagLabelMask = 0x70
+	flagLabelShft = 4
+	flagOperMask  = 0x0F
+
+	// MaxLabel is the largest label id encodable in the flag byte; label 0
+	// means "unlabeled".
+	MaxLabel = 7
+	// MaxOperand is the largest operand encodable in the flag byte.
+	MaxOperand = 15
+)
+
+// WireSize is the on-the-wire size of one instruction header in bytes.
+const WireSize = 2
+
+// Instruction is a single decoded ActiveRMT instruction.
+type Instruction struct {
+	Op       Opcode
+	Operand  uint8 // data-field index, branch-target label, or increment
+	Label    uint8 // 0 = unlabeled; otherwise a branch target id
+	Executed bool  // set by the switch once the instruction has run
+}
+
+// Encode returns the two-byte wire form of the instruction.
+func (in Instruction) Encode() [WireSize]byte {
+	var flag byte
+	if in.Executed {
+		flag |= flagExecuted
+	}
+	flag |= (in.Label << flagLabelShft) & flagLabelMask
+	flag |= in.Operand & flagOperMask
+	return [WireSize]byte{byte(in.Op), flag}
+}
+
+// DecodeInstruction parses the two-byte wire form of an instruction.
+func DecodeInstruction(b []byte) (Instruction, error) {
+	if len(b) < WireSize {
+		return Instruction{}, fmt.Errorf("isa: short instruction: %d bytes", len(b))
+	}
+	op := Opcode(b[0])
+	if !op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: invalid opcode %#x", b[0])
+	}
+	return Instruction{
+		Op:       op,
+		Operand:  b[1] & flagOperMask,
+		Label:    (b[1] & flagLabelMask) >> flagLabelShft,
+		Executed: b[1]&flagExecuted != 0,
+	}, nil
+}
+
+// Validate checks the instruction's fields against encoding limits.
+func (in Instruction) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	if in.Operand > MaxOperand {
+		return fmt.Errorf("isa: operand %d exceeds %d", in.Operand, MaxOperand)
+	}
+	if in.Label > MaxLabel {
+		return fmt.Errorf("isa: label %d exceeds %d", in.Label, MaxLabel)
+	}
+	if in.Op.IsBranch() && in.Operand == 0 {
+		return errors.New("isa: branch instruction without target label")
+	}
+	return nil
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instruction) String() string {
+	s := ""
+	if in.Label != 0 {
+		s = fmt.Sprintf("L%d: ", in.Label)
+	}
+	s += in.Op.String()
+	if in.Op.IsBranch() {
+		s += fmt.Sprintf(" L%d", in.Operand)
+	} else if in.Op.HasOperand() {
+		s += fmt.Sprintf(" %d", in.Operand)
+	}
+	return s
+}

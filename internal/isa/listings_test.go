@@ -1,0 +1,74 @@
+package isa
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The shipped example programs (examples/programs/*.s) are the paper's
+// listings in assembler form; every one must assemble, validate, round-trip
+// through the wire encoding, and match its documented access skeleton.
+func TestShippedListingsAssemble(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("listings dir: %v", err)
+	}
+	wantAccesses := map[string][]int{
+		"cache_query.s": {1, 4, 8},
+		"hh_monitor.s":  {5, 10, 18},
+		"lb_select.s":   {2, 7},
+		"lb_route.s":    nil,
+		"mem_read.s":    {2},
+		"mem_write.s":   {2},
+		"counter.s":     {1},
+	}
+	seen := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".s") {
+			continue
+		}
+		seen++
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Assemble(e.Name(), string(src))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		// Wire round trip.
+		wire := p.Encode(nil)
+		q, _, err := DecodeProgram(wire)
+		if err != nil {
+			t.Errorf("%s: decode: %v", e.Name(), err)
+			continue
+		}
+		if q.Len() != p.Len() {
+			t.Errorf("%s: round trip changed length", e.Name())
+		}
+		// Access skeleton.
+		want, ok := wantAccesses[e.Name()]
+		if !ok {
+			t.Errorf("%s: shipped listing missing from the skeleton table", e.Name())
+			continue
+		}
+		got := p.MemoryAccessIndices()
+		if len(got) != len(want) {
+			t.Errorf("%s: accesses %v, want %v", e.Name(), got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: accesses %v, want %v", e.Name(), got, want)
+				break
+			}
+		}
+	}
+	if seen != len(wantAccesses) {
+		t.Errorf("found %d listings, table has %d", seen, len(wantAccesses))
+	}
+}

@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Endpoint is anything that can be attached to a port and receive frames.
+type Endpoint interface {
+	Receive(frame []byte, port *Port)
+}
+
+// Port is one end of a full-duplex link. Sends are serialized by the link
+// bandwidth (store-and-forward) and delivered after the propagation delay.
+type Port struct {
+	eng   *Engine
+	owner Endpoint
+	peer  *Port
+
+	// Num is the port number at its owner (a switch port id or 0 for a
+	// host NIC).
+	Num int
+
+	delay     time.Duration
+	bandwidth float64 // bits per second; 0 = infinite
+	busyUntil time.Duration
+
+	// lossRate drops that fraction of transmitted frames (deterministic
+	// per-port PRNG); zero by default.
+	lossRate float64
+	lossRng  *rand.Rand
+
+	// Counters.
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+	Lost               uint64
+}
+
+// Connect wires two endpoints with a full-duplex link. aNum and bNum are the
+// port numbers as seen by each owner. bandwidthBps of zero models an
+// infinitely fast link.
+func Connect(eng *Engine, a Endpoint, aNum int, b Endpoint, bNum int, delay time.Duration, bandwidthBps float64) (*Port, *Port) {
+	pa := &Port{eng: eng, owner: a, Num: aNum, delay: delay, bandwidth: bandwidthBps}
+	pb := &Port{eng: eng, owner: b, Num: bNum, delay: delay, bandwidth: bandwidthBps}
+	pa.peer = pb
+	pb.peer = pa
+	return pa, pb
+}
+
+// SetLoss makes the port drop the given fraction of transmitted frames,
+// deterministically from seed. Loss exercises the idempotent retransmission
+// paths (Section 4.3: "Packets that fail execution do not generate a
+// response ... the client can safely retransmit after a timeout").
+func (p *Port) SetLoss(rate float64, seed int64) {
+	p.lossRate = rate
+	p.lossRng = rand.New(rand.NewSource(seed))
+}
+
+// Send transmits a frame toward the peer endpoint. The frame slice is owned
+// by the receiver after the call.
+func (p *Port) Send(frame []byte) {
+	p.TxFrames++
+	p.TxBytes += uint64(len(frame))
+	if p.lossRate > 0 && p.lossRng.Float64() < p.lossRate {
+		p.Lost++
+		return
+	}
+	start := p.eng.Now()
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	var tx time.Duration
+	if p.bandwidth > 0 {
+		tx = time.Duration(float64(len(frame)*8) / p.bandwidth * float64(time.Second))
+	}
+	p.busyUntil = start + tx
+	deliverAt := p.busyUntil + p.delay
+	peer := p.peer
+	p.eng.At(deliverAt, func() {
+		peer.RxFrames++
+		peer.RxBytes += uint64(len(frame))
+		peer.owner.Receive(frame, peer)
+	})
+}
+
+// Peer returns the other end of the link.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Engine returns the engine the port schedules on.
+func (p *Port) Engine() *Engine { return p.eng }

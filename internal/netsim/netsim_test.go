@@ -1,0 +1,169 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10*time.Microsecond, func() { order = append(order, 2) })
+	e.Schedule(5*time.Microsecond, func() { order = append(order, 1) })
+	e.Schedule(10*time.Microsecond, func() { order = append(order, 3) }) // FIFO tie
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 10*time.Microsecond {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(time.Millisecond, func() {
+		e.Schedule(time.Millisecond, func() { fired++ })
+	})
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("nested event fired %d times", fired)
+	}
+	if e.Now() != 2*time.Millisecond {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(time.Second, func() { fired++ })
+	e.Schedule(3*time.Second, func() { fired++ })
+	e.RunUntil(2 * time.Second)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now = %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {
+		e.Schedule(-time.Second, func() {
+			if e.Now() != time.Second {
+				t.Errorf("negative delay moved time to %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+type sink struct {
+	frames [][]byte
+	ports  []*Port
+	times  []time.Duration
+	eng    *Engine
+}
+
+func (s *sink) Receive(frame []byte, p *Port) {
+	s.frames = append(s.frames, frame)
+	s.ports = append(s.ports, p)
+	s.times = append(s.times, s.eng.Now())
+}
+
+func TestLinkDelayAndBandwidth(t *testing.T) {
+	e := NewEngine()
+	a, b := &sink{eng: e}, &sink{eng: e}
+	pa, _ := Connect(e, a, 0, b, 1, 10*time.Microsecond, 8e9) // 8 Gbps: 1 ns/byte
+	frame := make([]byte, 1000)
+	pa.Send(frame)
+	e.Run()
+	if len(b.frames) != 1 {
+		t.Fatalf("frames = %d", len(b.frames))
+	}
+	want := 10*time.Microsecond + 1000*time.Nanosecond
+	if b.times[0] != want {
+		t.Errorf("delivery at %v, want %v", b.times[0], want)
+	}
+	if b.ports[0].Num != 1 {
+		t.Errorf("delivered on port %d", b.ports[0].Num)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	e := NewEngine()
+	a, b := &sink{eng: e}, &sink{eng: e}
+	pa, _ := Connect(e, a, 0, b, 0, 0, 8e9)
+	// Two back-to-back frames: the second serializes after the first.
+	pa.Send(make([]byte, 1000))
+	pa.Send(make([]byte, 1000))
+	e.Run()
+	if len(b.times) != 2 {
+		t.Fatalf("frames = %d", len(b.times))
+	}
+	if b.times[1]-b.times[0] != 1000*time.Nanosecond {
+		t.Errorf("spacing = %v, want 1us", b.times[1]-b.times[0])
+	}
+}
+
+func TestLinkInfiniteBandwidth(t *testing.T) {
+	e := NewEngine()
+	a, b := &sink{eng: e}, &sink{eng: e}
+	pa, pb := Connect(e, a, 0, b, 0, time.Microsecond, 0)
+	pa.Send(make([]byte, 1 << 20))
+	e.Run()
+	if b.times[0] != time.Microsecond {
+		t.Errorf("delivery at %v", b.times[0])
+	}
+	// Reverse direction works too.
+	pb.Send([]byte{1})
+	e.Run()
+	if len(a.frames) != 1 {
+		t.Error("reverse direction broken")
+	}
+	if pa.TxFrames != 1 || pa.RxFrames != 1 || pb.TxFrames != 1 {
+		t.Errorf("counters: %d/%d/%d", pa.TxFrames, pa.RxFrames, pb.TxFrames)
+	}
+	if pa.Peer() != pb || pa.Engine() != e {
+		t.Error("peer/engine accessors wrong")
+	}
+}
+
+func TestLinkLoss(t *testing.T) {
+	e := NewEngine()
+	a, b := &sink{eng: e}, &sink{eng: e}
+	pa, _ := Connect(e, a, 0, b, 0, 0, 0)
+	pa.SetLoss(0.5, 99)
+	for i := 0; i < 1000; i++ {
+		pa.Send([]byte{byte(i)})
+	}
+	e.Run()
+	if pa.Lost == 0 || pa.Lost == 1000 {
+		t.Fatalf("lost = %d, want partial loss", pa.Lost)
+	}
+	if uint64(len(b.frames))+pa.Lost != 1000 {
+		t.Errorf("delivered %d + lost %d != 1000", len(b.frames), pa.Lost)
+	}
+	// Deterministic for a given seed.
+	e2 := NewEngine()
+	a2, b2 := &sink{eng: e2}, &sink{eng: e2}
+	pa2, _ := Connect(e2, a2, 0, b2, 0, 0, 0)
+	pa2.SetLoss(0.5, 99)
+	for i := 0; i < 1000; i++ {
+		pa2.Send([]byte{byte(i)})
+	}
+	e2.Run()
+	if pa2.Lost != pa.Lost {
+		t.Errorf("loss not deterministic: %d vs %d", pa2.Lost, pa.Lost)
+	}
+}

@@ -1,0 +1,62 @@
+// Package rmt simulates a reconfigurable match-table (RMT) switch pipeline
+// in the style of the Intel Tofino: a fixed sequence of match-action stages,
+// each with its own SRAM register array and stateful ALU, TCAM for range
+// matching, and hash units. Packets carry their per-packet state in a packet
+// header vector (PHV) and may be recirculated for additional passes.
+//
+// This package is the hardware substitute for the paper's Wedge100BF-65X
+// Tofino switch: it enforces the architectural constraints the evaluation
+// depends on — one instruction and at most one register access per stage,
+// stage-local memory, TCAM-bounded protection regions, the
+// ports-cannot-change-at-egress rule behind RTS, and a fixed per-pass
+// latency — without modeling ASIC internals.
+package rmt
+
+import "time"
+
+// Architectural defaults mirroring the paper's testbed (Sections 3-6).
+const (
+	// DefaultNumStages is the logical pipeline depth (the paper's switch
+	// exposes 20 logical stages to active programs).
+	DefaultNumStages = 20
+	// DefaultNumIngress is the number of ingress stages; RTS and other
+	// port-changing instructions must execute here to avoid recirculation.
+	DefaultNumIngress = 10
+	// DefaultStageWords is the per-stage register array size in 32-bit
+	// words ("94K x 20 packets" to read all memory, Section 4.3).
+	DefaultStageWords = 94208
+	// DefaultTCAMEntries bounds the prefix entries available per stage for
+	// memory protection; the paper identifies TCAM as the bottleneck for
+	// the number of distinct address ranges.
+	DefaultTCAMEntries = 2048
+	// DefaultMaxPasses bounds recirculation ("ActiveRMT can impose limits
+	// on the number of recirculations", Section 7.2).
+	DefaultMaxPasses = 8
+	// DefaultPassLatency is the measured per-pipeline-pass latency
+	// (Figure 8b: "each pass through a pipeline adds approximately
+	// 0.5 us").
+	DefaultPassLatency = 500 * time.Nanosecond
+)
+
+// Config parametrizes a Device. The zero value is not usable; call
+// DefaultConfig.
+type Config struct {
+	NumStages   int           // logical pipeline depth
+	NumIngress  int           // stages 0..NumIngress-1 form the ingress pipeline
+	StageWords  int           // register words per stage
+	TCAMEntries int           // TCAM prefix entries per stage
+	MaxPasses   int           // recirculation bound (a pass = one trip through all stages)
+	PassLatency time.Duration // latency added per pipeline pass
+}
+
+// DefaultConfig returns the paper-calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumStages:   DefaultNumStages,
+		NumIngress:  DefaultNumIngress,
+		StageWords:  DefaultStageWords,
+		TCAMEntries: DefaultTCAMEntries,
+		MaxPasses:   DefaultMaxPasses,
+		PassLatency: DefaultPassLatency,
+	}
+}

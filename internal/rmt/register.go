@@ -1,0 +1,84 @@
+package rmt
+
+import "fmt"
+
+// RegisterArray is one stage's stateful SRAM: a flat array of 32-bit words
+// fronted by a stateful ALU. On a Tofino, register "externs" expose a small
+// set of per-packet micro-programs (register actions); the four the paper's
+// runtime defines appear here as Read/Write/Increment/MinReadInc (Section
+// 3.2 and Appendix A.4).
+//
+// Counters track data-plane accesses for the experiment harness; the
+// Snapshot and Restore methods model control-plane (BFRT-style) register
+// access used for state extraction.
+type RegisterArray struct {
+	words []uint32
+
+	// Access counters (data-plane operations only).
+	Reads, Writes, Faults uint64
+}
+
+// NewRegisterArray returns an array of n zeroed words.
+func NewRegisterArray(n int) *RegisterArray {
+	return &RegisterArray{words: make([]uint32, n)}
+}
+
+// Len returns the array size in words.
+func (r *RegisterArray) Len() int { return len(r.words) }
+
+// InRange reports whether addr is a valid word index.
+func (r *RegisterArray) InRange(addr uint32) bool { return int(addr) < len(r.words) }
+
+// Read returns the word at addr.
+func (r *RegisterArray) Read(addr uint32) uint32 {
+	r.Reads++
+	return r.words[addr]
+}
+
+// Write stores v at addr.
+func (r *RegisterArray) Write(addr uint32, v uint32) {
+	r.Writes++
+	r.words[addr] = v
+}
+
+// Increment adds delta to the word at addr and returns the new value.
+func (r *RegisterArray) Increment(addr uint32, delta uint32) uint32 {
+	r.Writes++
+	r.words[addr] += delta
+	return r.words[addr]
+}
+
+// Fault records a protection or bounds fault.
+func (r *RegisterArray) Fault() { r.Faults++ }
+
+// Snapshot copies the words in [lo, hi) — the control-plane register-read
+// API a controller uses for consistent state extraction.
+func (r *RegisterArray) Snapshot(lo, hi uint32) ([]uint32, error) {
+	if lo > hi || int(hi) > len(r.words) {
+		return nil, fmt.Errorf("rmt: snapshot range [%d,%d) out of bounds (len %d)", lo, hi, len(r.words))
+	}
+	out := make([]uint32, hi-lo)
+	copy(out, r.words[lo:hi])
+	return out, nil
+}
+
+// Restore writes vals starting at lo — the control-plane register-write API.
+func (r *RegisterArray) Restore(lo uint32, vals []uint32) error {
+	if int(lo)+len(vals) > len(r.words) {
+		return fmt.Errorf("rmt: restore range [%d,%d) out of bounds (len %d)", lo, int(lo)+len(vals), len(r.words))
+	}
+	copy(r.words[lo:], vals)
+	return nil
+}
+
+// Zero clears the words in [lo, hi); used when handing a region to a new
+// application so no state leaks between tenants.
+func (r *RegisterArray) Zero(lo, hi uint32) error {
+	if lo > hi || int(hi) > len(r.words) {
+		return fmt.Errorf("rmt: zero range [%d,%d) out of bounds (len %d)", lo, hi, len(r.words))
+	}
+	for i := lo; i < hi; i++ {
+		r.words[i] = 0
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package rmt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// PrefixCount returns the number of ternary (prefix) entries required to
+// exactly cover the half-open address range [lo, hi) — the standard
+// range-to-prefix expansion cost of installing a range match in TCAM.
+func PrefixCount(lo, hi uint32) int {
+	n := 0
+	for lo < hi {
+		// Largest aligned power-of-two block starting at lo.
+		size := lo & -lo
+		if size == 0 { // lo == 0
+			size = 1 << 31
+		}
+		for size > hi-lo {
+			size >>= 1
+		}
+		n++
+		lo += size
+	}
+	return n
+}
+
+// Region is a protected memory range [Lo, Hi) owned by one FID within a
+// stage.
+type Region struct {
+	FID uint16
+	Lo  uint32
+	Hi  uint32
+}
+
+// Cost returns the TCAM entries the region consumes.
+func (r Region) Cost() int { return PrefixCount(r.Lo, r.Hi) }
+
+// TCAM models one stage's ternary match memory as used by ActiveRMT: one
+// protected region per FID, charged at its exact range-to-prefix expansion
+// cost against a fixed entry budget. The paper identifies this budget as the
+// bottleneck on the number of distinct address ranges a stage can protect.
+type TCAM struct {
+	capacity int
+	used     int
+	regions  map[uint16]Region
+}
+
+// NewTCAM returns a TCAM with the given prefix-entry capacity.
+func NewTCAM(capacity int) *TCAM {
+	return &TCAM{capacity: capacity, regions: make(map[uint16]Region)}
+}
+
+// ErrTCAMFull is returned when a region's prefix expansion does not fit.
+type ErrTCAMFull struct {
+	Need, Free int
+}
+
+func (e *ErrTCAMFull) Error() string {
+	return fmt.Sprintf("rmt: tcam full: need %d entries, %d free", e.Need, e.Free)
+}
+
+// Install adds (or replaces) the protected region for a FID. Replacement is
+// atomic with respect to the budget: the old region's entries are freed
+// before the new cost is charged.
+func (t *TCAM) Install(r Region) error {
+	if r.Lo > r.Hi {
+		return fmt.Errorf("rmt: inverted region [%d,%d)", r.Lo, r.Hi)
+	}
+	freed := 0
+	if old, ok := t.regions[r.FID]; ok {
+		freed = old.Cost()
+	}
+	need := r.Cost()
+	if t.used-freed+need > t.capacity {
+		return &ErrTCAMFull{Need: need, Free: t.capacity - t.used + freed}
+	}
+	t.used += need - freed
+	t.regions[r.FID] = r
+	return nil
+}
+
+// Remove frees the region owned by fid; removing an absent fid is a no-op.
+// It returns the number of table entries released (for table-update cost
+// accounting).
+func (t *TCAM) Remove(fid uint16) int {
+	r, ok := t.regions[fid]
+	if !ok {
+		return 0
+	}
+	t.used -= r.Cost()
+	delete(t.regions, fid)
+	return r.Cost()
+}
+
+// Lookup reports whether fid may access address addr in this stage.
+func (t *TCAM) Lookup(fid uint16, addr uint32) bool {
+	r, ok := t.regions[fid]
+	return ok && addr >= r.Lo && addr < r.Hi
+}
+
+// Region returns the installed region for fid.
+func (t *TCAM) Region(fid uint16) (Region, bool) {
+	r, ok := t.regions[fid]
+	return r, ok
+}
+
+// Used returns the consumed prefix entries.
+func (t *TCAM) Used() int { return t.used }
+
+// Capacity returns the total prefix-entry budget.
+func (t *TCAM) Capacity() int { return t.capacity }
+
+// Len returns the number of installed regions.
+func (t *TCAM) Len() int { return len(t.regions) }
+
+// MaxRegionsHint estimates how many block-aligned regions of the given word
+// size fit in the budget, assuming worst-case alignment. Used by admission
+// control to reject allocations that would exhaust protection resources.
+func (t *TCAM) MaxRegionsHint(regionWords uint32) int {
+	if regionWords == 0 {
+		return 0
+	}
+	// Worst case cost of a length-L range is about 2*ceil(log2 L).
+	w := bits.Len32(regionWords)
+	cost := 2 * w
+	if cost == 0 {
+		cost = 1
+	}
+	return t.capacity / cost
+}

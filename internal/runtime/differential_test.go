@@ -1,0 +1,267 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"activermt/internal/isa"
+	"activermt/internal/packet"
+	"activermt/internal/rmt"
+)
+
+// Differential testing: a reference interpreter with independently written
+// semantics executes random straight-line programs (including forward
+// branches and hashing), and its final register/data state must match the
+// pipeline's. This pins the stage-sequential execution model — including
+// branch skipping across stages and per-stage hash seeding — against an
+// oracle.
+
+// refState mirrors the PHV registers.
+type refState struct {
+	mar, mbr, mbr2 uint32
+	data           [4]uint32
+	hash           [rmt.NumHashWords]uint32
+	complete       bool
+	disabledUntil  uint8
+}
+
+// refStep executes one instruction at logical stage idx.
+func refStep(s *refState, in isa.Instruction, idx, numStages int) {
+	if s.complete {
+		return
+	}
+	if s.disabledUntil != 0 {
+		if in.Label != s.disabledUntil {
+			return
+		}
+		s.disabledUntil = 0
+	}
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpMbrLoad:
+		s.mbr = s.data[in.Operand%4]
+	case isa.OpMbrStore:
+		s.data[in.Operand%4] = s.mbr
+	case isa.OpMbr2Load:
+		s.mbr2 = s.data[in.Operand%4]
+	case isa.OpMarLoad:
+		s.mar = s.data[in.Operand%4]
+	case isa.OpCopyMbr2Mbr:
+		s.mbr2 = s.mbr
+	case isa.OpCopyMbrMbr2:
+		s.mbr = s.mbr2
+	case isa.OpCopyMarMbr:
+		s.mar = s.mbr
+	case isa.OpCopyMbrMar:
+		s.mbr = s.mar
+	case isa.OpCopyHashdataMbr:
+		s.hash[in.Operand%rmt.NumHashWords] = s.mbr
+	case isa.OpCopyHashdataMbr2:
+		s.hash[in.Operand%rmt.NumHashWords] = s.mbr2
+	case isa.OpMbrAddMbr2:
+		s.mbr += s.mbr2
+	case isa.OpMarAddMbr:
+		s.mar += s.mbr
+	case isa.OpMarAddMbr2:
+		s.mar += s.mbr2
+	case isa.OpMarMbrAddMbr2:
+		s.mar = s.mbr + s.mbr2
+	case isa.OpMbrSubMbr2:
+		s.mbr -= s.mbr2
+	case isa.OpBitAndMarMbr:
+		s.mar &= s.mbr
+	case isa.OpBitOrMbrMbr2:
+		s.mbr |= s.mbr2
+	case isa.OpMbrEqualsMbr2:
+		s.mbr ^= s.mbr2
+	case isa.OpMbrEqualsData:
+		s.mbr ^= s.data[in.Operand%4]
+	case isa.OpMax:
+		if s.mbr2 > s.mbr {
+			s.mbr = s.mbr2
+		}
+	case isa.OpMin:
+		if s.mbr2 < s.mbr {
+			s.mbr = s.mbr2
+		}
+	case isa.OpRevMin:
+		if s.mbr < s.mbr2 {
+			s.mbr2 = s.mbr
+		}
+	case isa.OpSwapMbrMbr2:
+		s.mbr, s.mbr2 = s.mbr2, s.mbr
+	case isa.OpMbrNot:
+		s.mbr = ^s.mbr
+	case isa.OpReturn:
+		s.complete = true
+	case isa.OpCRet:
+		if s.mbr != 0 {
+			s.complete = true
+		}
+	case isa.OpCRetI:
+		if s.mbr == 0 {
+			s.complete = true
+		}
+	case isa.OpCJump:
+		if s.mbr != 0 {
+			s.disabledUntil = in.Operand
+		}
+	case isa.OpCJumpI:
+		if s.mbr == 0 {
+			s.disabledUntil = in.Operand
+		}
+	case isa.OpUJump:
+		s.disabledUntil = in.Operand
+	case isa.OpHash:
+		if in.Operand != 0 {
+			s.mar = rmt.FixedHash(uint32(in.Operand), s.hash)
+		} else {
+			s.mar = rmt.StageHash(idx%numStages, s.hash)
+		}
+	}
+}
+
+// safeOps are the opcodes the generator draws from: everything except
+// memory access, forwarding, EOF, and translation (those need switch
+// state).
+var safeOps = []isa.Opcode{
+	isa.OpNop, isa.OpMbrLoad, isa.OpMbrStore, isa.OpMbr2Load, isa.OpMarLoad,
+	isa.OpCopyMbr2Mbr, isa.OpCopyMbrMbr2, isa.OpCopyMarMbr, isa.OpCopyMbrMar,
+	isa.OpCopyHashdataMbr, isa.OpCopyHashdataMbr2,
+	isa.OpMbrAddMbr2, isa.OpMarAddMbr, isa.OpMarAddMbr2, isa.OpMarMbrAddMbr2,
+	isa.OpMbrSubMbr2, isa.OpBitAndMarMbr, isa.OpBitOrMbrMbr2,
+	isa.OpMbrEqualsMbr2, isa.OpMbrEqualsData,
+	isa.OpMax, isa.OpMin, isa.OpRevMin, isa.OpSwapMbrMbr2, isa.OpMbrNot,
+	isa.OpCRet, isa.OpCRetI, isa.OpHash,
+}
+
+// genProgram builds a random valid program, occasionally with forward
+// branches.
+func genProgram(rng *rand.Rand) *isa.Program {
+	n := 3 + rng.Intn(35)
+	p := &isa.Program{Name: "fuzz"}
+	for i := 0; i < n; i++ {
+		in := isa.Instruction{Op: safeOps[rng.Intn(len(safeOps))]}
+		if in.Op.HasOperand() {
+			in.Operand = uint8(rng.Intn(4))
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	// Sprinkle up to two forward branches with labels.
+	label := uint8(1)
+	for b := 0; b < 2 && label <= isa.MaxLabel; b++ {
+		src := rng.Intn(len(p.Instrs))
+		tgt := src + 1 + rng.Intn(len(p.Instrs)-src)
+		if tgt >= len(p.Instrs) {
+			continue
+		}
+		if p.Instrs[tgt].Label != 0 || p.Instrs[src].Op.IsBranch() {
+			continue
+		}
+		branchOps := []isa.Opcode{isa.OpCJump, isa.OpCJumpI, isa.OpUJump}
+		p.Instrs[src] = isa.Instruction{Op: branchOps[rng.Intn(3)], Operand: label}
+		p.Instrs[tgt].Label = label
+		label++
+	}
+	if err := p.Validate(); err != nil {
+		// Regenerate on the rare invalid combination.
+		return genProgram(rng)
+	}
+	return p
+}
+
+func TestDifferentialInterpreter(t *testing.T) {
+	r := testRuntime(t)
+	r.AdmitStateless(1)
+	numStages := r.Device().NumStages()
+	maxSlots := r.Device().Config().MaxPasses * numStages
+	rng := rand.New(rand.NewSource(20230910))
+
+	for trial := 0; trial < 3000; trial++ {
+		p := genProgram(rng)
+		args := [4]uint32{rng.Uint32(), rng.Uint32(), rng.Uint32(), rng.Uint32()}
+
+		// Reference execution.
+		ref := &refState{data: args}
+		for idx, in := range p.Instrs {
+			if idx >= maxSlots {
+				break
+			}
+			refStep(ref, in, idx, numStages)
+			if ref.complete {
+				break
+			}
+		}
+
+		// Pipeline execution.
+		a := &packet.Active{Header: packet.ActiveHeader{FID: 1}, Args: args, Program: p.Clone()}
+		a.Header.SetType(packet.TypeProgram)
+		a.Header.Flags |= packet.FlagNoShrink
+		outs := r.ExecuteProgram(a)
+		if len(outs) != 1 {
+			t.Fatalf("trial %d: %d outputs", trial, len(outs))
+		}
+		out := outs[0]
+		if out.Dropped {
+			// Programs longer than the recirculation limit drop; the
+			// reference stops at maxSlots, so only compare data below.
+			continue
+		}
+		if out.Active.Args != ref.data {
+			t.Fatalf("trial %d: data mismatch\nprogram:\n%s\npipeline: %#v\nreference: %#v",
+				trial, isa.Disassemble(p), out.Active.Args, ref.data)
+		}
+	}
+}
+
+func TestDifferentialBranchDense(t *testing.T) {
+	// Branch-heavy programs: stress the disabled-until-label machinery.
+	r := testRuntime(t)
+	r.AdmitStateless(1)
+	rng := rand.New(rand.NewSource(42))
+	numStages := r.Device().NumStages()
+
+	for trial := 0; trial < 1500; trial++ {
+		p := &isa.Program{Name: "branchy"}
+		// Alternating loads and conditional jumps.
+		label := uint8(1)
+		for i := 0; i < 16; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				p.Instrs = append(p.Instrs, isa.Instruction{Op: isa.OpMbrLoad, Operand: uint8(rng.Intn(4))})
+			case 1:
+				p.Instrs = append(p.Instrs, isa.Instruction{Op: isa.OpMbrNot})
+			case 2:
+				p.Instrs = append(p.Instrs, isa.Instruction{Op: isa.OpNop})
+			}
+		}
+		for b := 0; b < 3 && label <= isa.MaxLabel; b++ {
+			src := rng.Intn(len(p.Instrs) - 1)
+			tgt := src + 1 + rng.Intn(len(p.Instrs)-src-1)
+			if p.Instrs[tgt].Label != 0 || p.Instrs[src].Op.IsBranch() {
+				continue
+			}
+			ops := []isa.Opcode{isa.OpCJump, isa.OpCJumpI, isa.OpUJump}
+			p.Instrs[src] = isa.Instruction{Op: ops[rng.Intn(3)], Operand: label}
+			p.Instrs[tgt].Label = label
+			label++
+		}
+		if p.Validate() != nil {
+			continue
+		}
+		args := [4]uint32{rng.Uint32() & 1, rng.Uint32(), rng.Uint32(), rng.Uint32()}
+		ref := &refState{data: args}
+		for idx, in := range p.Instrs {
+			refStep(ref, in, idx, numStages)
+			if ref.complete {
+				break
+			}
+		}
+		a := &packet.Active{Header: packet.ActiveHeader{FID: 1}, Args: args, Program: p.Clone()}
+		a.Header.SetType(packet.TypeProgram)
+		out := r.ExecuteProgram(a)[0]
+		if out.Active.Args != ref.data {
+			t.Fatalf("trial %d mismatch\n%s\npipeline %#v\nref %#v", trial, isa.Disassemble(p), out.Active.Args, ref.data)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package runtime
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"activermt/internal/isa"
+	"activermt/internal/packet"
+	"activermt/internal/rmt"
+)
+
+// AccessGrant places one memory access of an admitted program: the logical
+// stage the access executes in (which fixes the physical stage) and the
+// granted word region [Lo, Hi) in that stage's register array.
+type AccessGrant struct {
+	Logical int
+	Lo, Hi  uint32
+}
+
+// Grant is the full data-plane footprint of one admitted application
+// instance, as computed by the allocator for the selected mutant.
+type Grant struct {
+	FID      uint16
+	Accesses []AccessGrant
+}
+
+// grantRecord remembers what was installed for a FID so it can be removed.
+type grantRecord struct {
+	protStages  []int // physical stages holding a TCAM region
+	xlateStages []int // physical stages holding a translate entry
+}
+
+// Runtime is the ActiveRMT switch runtime: a configured RMT device plus the
+// FID admission, protection, and translation state the shared P4 program
+// maintains.
+type Runtime struct {
+	dev *rmt.Device
+
+	admitted    map[uint16]*grantRecord
+	quarantined map[uint16]bool
+
+	// Section 7 extensions (see extensions.go).
+	recircPolicy RecircPolicy
+	recircNow    func() time.Duration
+	recirc       map[uint16]*recircState
+	privilege    map[uint16]uint8
+	mirror       map[uint32]uint32
+
+	// Stats for the experiment harness.
+	ProgramsRun, Passthrough, Faults uint64
+	RecircThrottled, PrivSuppressed  uint64
+	TableOps                         uint64 // cumulative table update operations
+}
+
+// New builds a device from cfg and installs the interpreter in it.
+func New(cfg rmt.Config) (*Runtime, error) {
+	dev, err := rmt.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		dev:         dev,
+		admitted:    make(map[uint16]*grantRecord),
+		quarantined: make(map[uint16]bool),
+	}
+	r.installActions(dev)
+	return r, nil
+}
+
+// Device exposes the underlying device (for controllers and tests).
+func (r *Runtime) Device() *rmt.Device { return r.dev }
+
+// Admitted reports whether fid has been admitted.
+func (r *Runtime) Admitted(fid uint16) bool {
+	_, ok := r.admitted[fid]
+	return ok
+}
+
+// Quarantined reports whether fid's packets are currently deactivated.
+func (r *Runtime) Quarantined(fid uint16) bool { return r.quarantined[fid] }
+
+// Deactivate suspends execution of fid's programs during a reallocation so
+// clients observe a consistent memory snapshot (Section 4.3). Packets still
+// forward, unexecuted.
+func (r *Runtime) Deactivate(fid uint16) {
+	r.quarantined[fid] = true
+	r.TableOps++
+}
+
+// Reactivate resumes execution of fid's programs.
+func (r *Runtime) Reactivate(fid uint16) {
+	delete(r.quarantined, fid)
+	r.TableOps++
+}
+
+// InstallGrant installs (or replaces) the protection and translation entries
+// for a grant, zeroes the granted regions, and admits the FID. It returns
+// the number of table operations performed, the currency of the
+// provisioning-time model (Figure 8a: provisioning is dominated by table
+// updates).
+func (r *Runtime) InstallGrant(g Grant) (int, error) {
+	ops := 0
+	if old, ok := r.admitted[g.FID]; ok {
+		ops += r.removeRecord(g.FID, old)
+	}
+	rec := &grantRecord{}
+	prevLogical := -1
+	for _, a := range g.Accesses {
+		if a.Lo >= a.Hi {
+			return ops, fmt.Errorf("runtime: empty grant region [%d,%d)", a.Lo, a.Hi)
+		}
+		phys := r.dev.PhysicalStage(a.Logical)
+		st := r.dev.Stage(phys)
+		if !st.Registers.InRange(a.Hi - 1) {
+			return ops, fmt.Errorf("runtime: grant [%d,%d) exceeds stage memory", a.Lo, a.Hi)
+		}
+		region := rmt.Region{FID: g.FID, Lo: a.Lo, Hi: a.Hi}
+		if err := st.Prot.Install(region); err != nil {
+			// Roll back everything installed so far.
+			r.removeRecord(g.FID, rec)
+			return ops, err
+		}
+		ops += region.Cost()
+		rec.protStages = append(rec.protStages, phys)
+		if err := st.Registers.Zero(a.Lo, a.Hi); err != nil {
+			r.removeRecord(g.FID, rec)
+			return ops, err
+		}
+
+		// Translation entries for this access cover the logical window
+		// between the previous access and this one, so any
+		// ADDR_MASK/ADDR_OFFSET the program executes there targets this
+		// access's region (Section 3.2).
+		tr := translateFor(a)
+		for l := prevLogical + 1; l < a.Logical; l++ {
+			p := r.dev.PhysicalStage(l)
+			r.dev.Stage(p).SetTranslate(g.FID, tr)
+			rec.xlateStages = append(rec.xlateStages, p)
+			ops++
+		}
+		prevLogical = a.Logical
+	}
+	r.admitted[g.FID] = rec
+	r.TableOps += uint64(ops) + 1 // +1 for the admission gate entry
+	return ops + 1, nil
+}
+
+// translateFor derives the mask/offset pair for a region: the mask is the
+// largest power-of-two window that fits the region (mask-based translation
+// needs power-of-two windows; arbitrary-size regions use the floor), the
+// offset is the region base.
+func translateFor(a AccessGrant) rmt.Translate {
+	size := a.Hi - a.Lo
+	if size == 0 {
+		return rmt.Translate{}
+	}
+	k := bits.Len32(size) - 1
+	return rmt.Translate{Mask: 1<<k - 1, Offset: a.Lo}
+}
+
+// AdmitStateless admits a FID with no memory grant — for programs that keep
+// no switch state (e.g. the NOP latency probes of Figure 8b).
+func (r *Runtime) AdmitStateless(fid uint16) {
+	if _, ok := r.admitted[fid]; !ok {
+		r.admitted[fid] = &grantRecord{}
+		r.TableOps++
+	}
+}
+
+// RemoveGrant removes all state for fid and returns the table operations
+// performed.
+func (r *Runtime) RemoveGrant(fid uint16) int {
+	rec, ok := r.admitted[fid]
+	if !ok {
+		return 0
+	}
+	ops := r.removeRecord(fid, rec) + 1 // +1 for the admission gate entry
+	delete(r.admitted, fid)
+	delete(r.quarantined, fid)
+	r.TableOps += uint64(ops)
+	return ops
+}
+
+func (r *Runtime) removeRecord(fid uint16, rec *grantRecord) int {
+	ops := 0
+	for _, p := range rec.protStages {
+		ops += r.dev.Stage(p).Prot.Remove(fid)
+	}
+	for _, p := range rec.xlateStages {
+		ops += r.dev.Stage(p).ClearTranslate(fid)
+	}
+	rec.protStages = rec.protStages[:0]
+	rec.xlateStages = rec.xlateStages[:0]
+	return ops
+}
+
+// Snapshot reads fid's region in the given physical stage via the
+// control-plane register API (one of the paper's two state-extraction
+// paths).
+func (r *Runtime) Snapshot(fid uint16, phys int) ([]uint32, rmt.Region, error) {
+	st := r.dev.Stage(phys)
+	reg, ok := st.Prot.Region(fid)
+	if !ok {
+		return nil, rmt.Region{}, fmt.Errorf("runtime: fid %d has no region in stage %d", fid, phys)
+	}
+	words, err := st.Registers.Snapshot(reg.Lo, reg.Hi)
+	return words, reg, err
+}
+
+// Output is one packet emitted by program execution.
+type Output struct {
+	Active   *packet.Active
+	ToSender bool
+	DstSet   bool
+	Dst      uint32
+	Dropped  bool
+	IsClone  bool
+	Executed bool // false when the program was passed through unexecuted
+	Latency  time.Duration
+	Passes   int
+}
+
+// ExecuteProgram runs a decoded program packet through the pipeline and
+// returns the resulting output packets (primary first, then FORK clones).
+// Programs whose FID is not admitted — or is quarantined during a
+// reallocation — pass through unexecuted, exactly as a table miss would
+// behave on the real switch.
+func (r *Runtime) ExecuteProgram(a *packet.Active) []*Output {
+	if a.Program == nil {
+		return []*Output{{Active: a, Latency: r.dev.Config().PassLatency}}
+	}
+	memsync := a.Header.Flags&packet.FlagMemSync != 0
+	if !r.Admitted(a.Header.FID) || (r.Quarantined(a.Header.FID) && !memsync) {
+		r.Passthrough++
+		return []*Output{{Active: a, Latency: r.dev.Config().PassLatency}}
+	}
+	if !r.recircAllowed(a.Header.FID, a.Program.Len()) {
+		// The recirculation fairness controller polices bandwidth
+		// inflation (Section 7.2): over-budget programs are dropped.
+		out := &Output{Active: a, Dropped: true, Latency: r.dev.Config().PassLatency}
+		out.Active.Header.Flags |= packet.FlagFailed
+		return []*Output{out}
+	}
+	r.ProgramsRun++
+
+	phv := &rmt.PHV{
+		FID:    a.Header.FID,
+		Data:   a.Args,
+		Instrs: append([]isa.Instruction(nil), a.Program.Instrs...),
+	}
+	if a.Header.Flags&packet.FlagPreload != 0 {
+		phv.MAR = a.Args[2]
+		phv.MBR = a.Args[0]
+	}
+	r.applyPrivilege(a.Header.FID, phv)
+	if tup, ok := packet.ParseFiveTuple(a.Payload); ok {
+		w := tup.Words()
+		copy(phv.TupleWords[:], w)
+	}
+
+	outs := r.dev.Exec(phv)
+	results := make([]*Output, 0, len(outs))
+	for _, p := range outs {
+		if p.Faulted {
+			r.Faults++
+		}
+		results = append(results, r.encodeOutput(a, p))
+	}
+	return results
+}
+
+// encodeOutput rebuilds an active packet from a post-execution PHV,
+// shrinking executed instruction headers unless the program opted out
+// (Section 3.1's packet-shrinking optimization).
+func (r *Runtime) encodeOutput(in *packet.Active, p *rmt.PHV) *Output {
+	hdr := in.Header
+	hdr.Flags |= packet.FlagFromSwch
+	if p.Complete {
+		hdr.Flags |= packet.FlagDone
+	}
+	if p.ToSender {
+		hdr.Flags |= packet.FlagRTS
+	}
+	if p.Dropped {
+		hdr.Flags |= packet.FlagFailed
+	}
+
+	prog := &isa.Program{Name: in.Program.Name}
+	noShrink := in.Header.Flags&packet.FlagNoShrink != 0
+	for _, instr := range p.Instrs {
+		if instr.Executed && !noShrink {
+			continue
+		}
+		prog.Instrs = append(prog.Instrs, instr)
+	}
+
+	out := &packet.Active{
+		Header:  hdr,
+		Args:    p.Data,
+		Program: prog,
+		Payload: in.Payload,
+	}
+	out.Header.SetType(packet.TypeProgram)
+	return &Output{
+		Active:   out,
+		ToSender: p.ToSender,
+		DstSet:   p.DstSet,
+		Dst:      p.Dst,
+		Dropped:  p.Dropped,
+		IsClone:  p.IsClone,
+		Executed: true,
+		Latency:  p.Latency,
+		Passes:   p.Passes,
+	}
+}
+
+// RegionFor returns fid's installed region in a physical stage (for tests
+// and the controller).
+func (r *Runtime) RegionFor(fid uint16, phys int) (rmt.Region, bool) {
+	return r.dev.Stage(phys).Prot.Region(fid)
+}

@@ -1,0 +1,373 @@
+package switchd
+
+import (
+	"time"
+
+	"activermt/internal/alloc"
+	"activermt/internal/netsim"
+	"activermt/internal/packet"
+	"activermt/internal/runtime"
+)
+
+// Costs models the control-plane latencies of the paper's testbed
+// (Section 6.2): provisioning time is dominated by BFRT table updates, the
+// digest path adds a small fixed delay, and allocation computation scales
+// with the mutant search.
+type Costs struct {
+	TableOp         time.Duration // per table entry installed or removed
+	DigestLatency   time.Duration // data plane -> controller digest
+	ComputeBase     time.Duration // fixed allocation-computation overhead
+	ComputePerMut   time.Duration // per mutant considered
+	SnapshotTimeout time.Duration // unresponsive clients are timed out
+}
+
+// DefaultCosts is calibrated so a contended admission lands at one-to-two
+// seconds, matching Figure 8a's shape (table updates dominate).
+func DefaultCosts() Costs {
+	return Costs{
+		TableOp:         2 * time.Millisecond,
+		DigestLatency:   100 * time.Microsecond,
+		ComputeBase:     5 * time.Millisecond,
+		ComputePerMut:   30 * time.Microsecond,
+		SnapshotTimeout: 500 * time.Millisecond,
+	}
+}
+
+// ProvisionRecord documents one admission/release for the experiment
+// harness (Figure 8a's breakdown).
+type ProvisionRecord struct {
+	FID          uint16
+	Start, End   time.Duration // virtual time
+	Compute      time.Duration // modeled allocation-computation time
+	ComputeWall  time.Duration // measured wall-clock of the allocator call
+	SnapshotWait time.Duration // waiting for reallocated clients
+	TableTime    time.Duration // table-update time
+	TableOps     int
+	Failed       bool
+	Reallocated  int
+	Release      bool
+}
+
+// Controller is the switch control plane: admission control and dynamic
+// memory allocation (Section 4.3). Requests are serialized; each admission
+// runs the deactivate -> snapshot -> update -> reactivate protocol for any
+// reallocated applications.
+type Controller struct {
+	eng   *netsim.Engine
+	sw    *Switch
+	rt    *runtime.Runtime
+	al    *alloc.Allocator
+	costs Costs
+
+	clients map[uint16]packet.MAC // fid -> client MAC
+	busy    bool
+	queue   []queued
+
+	// snapWaiter consumes FlagSnapDone notifications during the realloc
+	// window of the admission in progress.
+	snapWaiter func(fid uint16)
+
+	// Records for the harness.
+	Records []ProvisionRecord
+	// Clock measures wall time of allocation computation; overridable for
+	// deterministic tests.
+	Clock func() time.Time
+}
+
+type queued struct {
+	f    *packet.Frame
+	port int
+}
+
+// NewController wires a controller to its switch, runtime, and allocator.
+func NewController(eng *netsim.Engine, sw *Switch, al *alloc.Allocator, costs Costs) *Controller {
+	c := &Controller{
+		eng:     eng,
+		sw:      sw,
+		rt:      sw.Runtime(),
+		al:      al,
+		costs:   costs,
+		clients: make(map[uint16]packet.MAC),
+		Clock:   time.Now,
+	}
+	sw.SetController(c)
+	return c
+}
+
+// Allocator exposes the allocation state (for experiments).
+func (c *Controller) Allocator() *alloc.Allocator { return c.al }
+
+// Digest delivers a control packet from the data plane after the digest
+// latency (the switch CPU path).
+func (c *Controller) Digest(f *packet.Frame, port *netsim.Port) {
+	pnum := port.Num
+	c.eng.Schedule(c.costs.DigestLatency, func() {
+		h := f.Active.Header
+		if h.Type() == packet.TypeControl && h.Flags&packet.FlagSnapDone != 0 {
+			// Snapshot completions bypass the admission queue: the
+			// in-progress admission is waiting on them.
+			if c.snapWaiter != nil {
+				c.snapWaiter(h.FID)
+			}
+			return
+		}
+		c.queue = append(c.queue, queued{f: f, port: pnum})
+		c.pump()
+	})
+}
+
+// pump serializes request processing: applications are admitted one at a
+// time (Section 4.3).
+func (c *Controller) pump() {
+	if c.busy || len(c.queue) == 0 {
+		return
+	}
+	q := c.queue[0]
+	c.queue = c.queue[1:]
+	c.busy = true
+	c.dispatch(q)
+}
+
+func (c *Controller) finish() {
+	c.busy = false
+	c.pump()
+}
+
+func (c *Controller) dispatch(q queued) {
+	h := q.f.Active.Header
+	switch {
+	case h.Type() == packet.TypeAllocReq:
+		c.clients[h.FID] = q.f.Eth.Src
+		c.admit(h.FID, q.f.Active.AllocReq)
+	case h.Type() == packet.TypeControl && h.Flags&packet.FlagRelease != 0:
+		c.clients[h.FID] = q.f.Eth.Src
+		c.release(h.FID)
+	default:
+		c.finish()
+	}
+}
+
+func (c *Controller) respondFailure(fid uint16) {
+	resp := &packet.Active{
+		Header:    packet.ActiveHeader{FID: fid, Flags: packet.FlagFromSwch | packet.FlagFailed},
+		AllocResp: &packet.AllocResponse{},
+	}
+	resp.Header.SetType(packet.TypeAllocResp)
+	_ = c.sw.SendToHost(c.clients[fid], resp)
+}
+
+// responseFor converts a placement into the wire response. The mutant index
+// carries the policy bit so the client re-enumerates the same order.
+func (c *Controller) responseFor(pl *alloc.Placement, realloc bool) *packet.Active {
+	resp := &packet.AllocResponse{MutantIndex: uint32(pl.MutantIdx)}
+	if c.al.Config().Policy == alloc.LeastConstrained {
+		resp.MutantIndex |= packet.PolicyBitLC
+	}
+	n := c.rt.Device().NumStages()
+	for _, ap := range pl.Accesses {
+		resp.Grants[ap.Logical%n] = packet.StageGrant{Start: ap.Range.Lo, End: ap.Range.Hi}
+	}
+	a := &packet.Active{
+		Header:    packet.ActiveHeader{FID: pl.FID, Flags: packet.FlagFromSwch},
+		AllocResp: resp,
+	}
+	if realloc {
+		a.Header.Flags |= packet.FlagRealloc
+	}
+	a.Header.SetType(packet.TypeAllocResp)
+	return a
+}
+
+// grantFor converts a placement to the runtime install form.
+func grantFor(pl *alloc.Placement) runtime.Grant {
+	g := runtime.Grant{FID: pl.FID}
+	for _, ap := range pl.Accesses {
+		g.Accesses = append(g.Accesses, runtime.AccessGrant{Logical: ap.Logical, Lo: ap.Range.Lo, Hi: ap.Range.Hi})
+	}
+	return g
+}
+
+// admit runs the full admission protocol for fid.
+func (c *Controller) admit(fid uint16, req *packet.AllocRequest) {
+	rec := ProvisionRecord{FID: fid, Start: c.eng.Now()}
+	// Retransmitted requests are answered idempotently with the existing
+	// placement (allocation requests are retried over a lossy data plane).
+	if pl, ok := c.al.PlacementFor(fid); ok {
+		_ = c.sw.SendToHost(c.clients[fid], c.responseFor(pl, false))
+		c.finish()
+		return
+	}
+	cons, err := alloc.FromRequest(req)
+	if err != nil {
+		rec.Failed = true
+		c.concludeFailed(rec)
+		return
+	}
+	cons.Name = "fid"
+
+	// Stateless services (no memory accesses) bypass the allocator: admit
+	// the FID and answer immediately.
+	if len(cons.Accesses) == 0 {
+		c.rt.AdmitStateless(fid)
+		rec.TableOps = 1
+		rec.TableTime = c.costs.TableOp
+		c.eng.Schedule(c.costs.ComputeBase+rec.TableTime, func() {
+			resp := &packet.Active{
+				Header:    packet.ActiveHeader{FID: fid, Flags: packet.FlagFromSwch},
+				AllocResp: &packet.AllocResponse{},
+			}
+			resp.Header.SetType(packet.TypeAllocResp)
+			_ = c.sw.SendToHost(c.clients[fid], resp)
+			rec.End = c.eng.Now()
+			c.Records = append(c.Records, rec)
+			c.finish()
+		})
+		return
+	}
+
+	wall := c.Clock()
+	res, err := c.al.Allocate(fid, cons)
+	rec.ComputeWall = c.Clock().Sub(wall)
+	if err != nil || res.Failed {
+		rec.Failed = true
+		rec.Compute = c.costs.ComputeBase
+		if res != nil {
+			rec.Compute += time.Duration(res.MutantsTotal) * c.costs.ComputePerMut
+		}
+		c.eng.Schedule(rec.Compute, func() { c.concludeFailed(rec) })
+		return
+	}
+	rec.Compute = c.costs.ComputeBase + time.Duration(res.MutantsTotal)*c.costs.ComputePerMut
+	rec.Reallocated = len(res.Reallocated)
+
+	c.eng.Schedule(rec.Compute, func() {
+		c.reallocPhase(rec, res.New, res.Reallocated, false)
+	})
+}
+
+// release handles a client departure, expanding elastic neighbors.
+func (c *Controller) release(fid uint16) {
+	rec := ProvisionRecord{FID: fid, Start: c.eng.Now(), Release: true}
+	changed, err := c.al.Release(fid)
+	if err != nil {
+		if c.rt.Admitted(fid) { // stateless service: nothing allocated
+			rec.TableOps += c.rt.RemoveGrant(fid)
+			c.reallocPhase(rec, nil, nil, true)
+			return
+		}
+		rec.Failed = true
+		c.concludeFailed(rec)
+		return
+	}
+	rec.TableOps += c.rt.RemoveGrant(fid)
+	rec.Reallocated = len(changed)
+	c.reallocPhase(rec, nil, changed, true)
+}
+
+// reallocPhase notifies and quarantines reallocated applications, waits for
+// their snapshot completions (or the timeout), then applies table updates
+// and reactivates everyone.
+func (c *Controller) reallocPhase(rec ProvisionRecord, newPl *alloc.Placement, changed []*alloc.Placement, release bool) {
+	waitStart := c.eng.Now()
+	pending := map[uint16]bool{}
+	for _, pl := range changed {
+		pending[pl.FID] = true
+		c.rt.Deactivate(pl.FID)
+		rec.TableOps++
+		if mac, ok := c.clients[pl.FID]; ok {
+			_ = c.sw.SendToHost(mac, c.responseFor(pl, true))
+		} else {
+			delete(pending, pl.FID) // no client to wait for
+		}
+	}
+
+	done := false
+	proceed := func() {
+		if done {
+			return
+		}
+		done = true
+		c.snapWaiter = nil
+		rec.SnapshotWait = c.eng.Now() - waitStart
+		c.applyPhase(rec, newPl, changed, release)
+	}
+	if len(pending) == 0 {
+		proceed()
+		return
+	}
+	c.snapWaiter = func(fid uint16) {
+		delete(pending, fid)
+		if len(pending) == 0 {
+			proceed()
+		}
+	}
+	c.eng.Schedule(c.costs.SnapshotTimeout, proceed)
+}
+
+// applyPhase installs the new table state and reactivates applications.
+func (c *Controller) applyPhase(rec ProvisionRecord, newPl *alloc.Placement, changed []*alloc.Placement, release bool) {
+	ops := rec.TableOps
+	for _, pl := range changed {
+		n, err := c.rt.InstallGrant(grantFor(pl))
+		ops += n
+		if err != nil {
+			// TCAM exhaustion mid-update: surface as failure for the
+			// newcomer but keep existing apps running.
+			continue
+		}
+	}
+	var installErr error
+	if newPl != nil {
+		n, err := c.rt.InstallGrant(grantFor(newPl))
+		ops += n
+		installErr = err
+	}
+	rec.TableOps = ops
+	rec.TableTime = time.Duration(ops) * c.costs.TableOp
+
+	c.eng.Schedule(rec.TableTime, func() {
+		for _, pl := range changed {
+			c.rt.Reactivate(pl.FID)
+			if mac, ok := c.clients[pl.FID]; ok {
+				ack := &packet.Active{Header: packet.ActiveHeader{
+					FID:   pl.FID,
+					Flags: packet.FlagFromSwch | packet.FlagDone | packet.FlagRealloc,
+				}}
+				ack.Header.SetType(packet.TypeControl)
+				_ = c.sw.SendToHost(mac, ack)
+			}
+		}
+		switch {
+		case newPl != nil && installErr != nil:
+			// Roll the allocation back so state stays consistent.
+			_, _ = c.al.Release(newPl.FID)
+			rec.Failed = true
+			c.respondFailure(newPl.FID)
+		case newPl != nil:
+			_ = c.sw.SendToHost(c.clients[newPl.FID], c.responseFor(newPl, false))
+		case release:
+			if mac, ok := c.clients[rec.FID]; ok {
+				ack := &packet.Active{Header: packet.ActiveHeader{
+					FID:   rec.FID,
+					Flags: packet.FlagFromSwch | packet.FlagDone | packet.FlagRelease,
+				}}
+				ack.Header.SetType(packet.TypeControl)
+				_ = c.sw.SendToHost(mac, ack)
+				delete(c.clients, rec.FID)
+			}
+		}
+		rec.End = c.eng.Now()
+		c.Records = append(c.Records, rec)
+		c.finish()
+	})
+}
+
+func (c *Controller) concludeFailed(rec ProvisionRecord) {
+	rec.Failed = true
+	rec.End = c.eng.Now()
+	c.Records = append(c.Records, rec)
+	if !rec.Release {
+		c.respondFailure(rec.FID)
+	}
+	c.finish()
+}

@@ -1,0 +1,164 @@
+// Package switchd implements the ActiveRMT switch: the data-plane node that
+// executes active programs at its ports (wrapping the runtime interpreter)
+// and the control-plane controller that serializes admissions, computes
+// allocations, orchestrates reallocation (deactivate -> snapshot window ->
+// table update -> reactivate, Section 4.3), and answers clients with
+// allocation-response packets.
+package switchd
+
+import (
+	"fmt"
+	"time"
+
+	"activermt/internal/netsim"
+	"activermt/internal/packet"
+	"activermt/internal/runtime"
+)
+
+// Switch is the netsim endpoint for the ActiveRMT switch data plane.
+type Switch struct {
+	eng  *netsim.Engine
+	rt   *runtime.Runtime
+	ctrl *Controller
+
+	mac    packet.MAC
+	ports  map[int]*netsim.Port
+	hosts  map[packet.MAC]int // L2 table: MAC -> port
+
+	// Counters.
+	FramesIn, FramesForwarded, FramesReturned, FramesDropped uint64
+	UnknownMAC                                               uint64
+}
+
+// NewSwitch builds a switch around a runtime. Attach the controller with
+// SetController and wire ports with AddPort.
+func NewSwitch(eng *netsim.Engine, rt *runtime.Runtime, mac packet.MAC) *Switch {
+	return &Switch{
+		eng:   eng,
+		rt:    rt,
+		mac:   mac,
+		ports: make(map[int]*netsim.Port),
+		hosts: make(map[packet.MAC]int),
+	}
+}
+
+// SetController attaches the control plane.
+func (s *Switch) SetController(c *Controller) { s.ctrl = c }
+
+// Runtime exposes the data-plane runtime.
+func (s *Switch) Runtime() *runtime.Runtime { return s.rt }
+
+// MAC returns the switch's own address.
+func (s *Switch) MAC() packet.MAC { return s.mac }
+
+// AddPort registers a port (created via netsim.Connect with this switch as
+// the endpoint) and the host MAC reachable through it.
+func (s *Switch) AddPort(p *netsim.Port, host packet.MAC) {
+	s.ports[p.Num] = p
+	s.hosts[host] = p.Num
+}
+
+// Receive implements netsim.Endpoint: the switch pipeline entry point.
+func (s *Switch) Receive(frame []byte, port *netsim.Port) {
+	s.FramesIn++
+	f, err := packet.DecodeFrame(frame)
+	if err != nil {
+		s.FramesDropped++
+		return
+	}
+	if f.Active == nil {
+		// Plain traffic: baseline L2 forwarding. A frame hairpinned back
+		// out its ingress port turns around after the ingress pipeline
+		// (half a pass) — the no-processing echo baseline of Figure 8b.
+		lat := s.rt.Device().Config().PassLatency
+		if pnum, ok := s.hosts[f.Eth.Dst]; ok && pnum == port.Num {
+			lat /= 2
+		}
+		s.forward(f, lat)
+		return
+	}
+	switch f.Active.Header.Type() {
+	case packet.TypeAllocReq, packet.TypeControl:
+		// Control traffic reaches the controller as a digest.
+		if s.ctrl != nil {
+			s.ctrl.Digest(f, port)
+		}
+	case packet.TypeProgram:
+		s.execute(f, port)
+	default:
+		// Allocation responses originate at the switch; one arriving from
+		// a host is bogus.
+		s.FramesDropped++
+	}
+}
+
+func (s *Switch) execute(f *packet.Frame, in *netsim.Port) {
+	outs := s.rt.ExecuteProgram(f.Active)
+	for _, out := range outs {
+		if out.Dropped {
+			s.FramesDropped++
+			continue
+		}
+		of := &packet.Frame{Eth: f.Eth, Active: out.Active, Inner: out.Active.Payload}
+		lat := out.Latency
+		switch {
+		case out.ToSender:
+			// RTS: swap addresses and return via the ingress port.
+			of.Eth.Dst, of.Eth.Src = f.Eth.Src, s.mac
+			s.FramesReturned++
+			s.sendOut(in.Num, of, lat)
+		case out.DstSet:
+			s.sendOut(int(out.Dst), of, lat)
+			s.FramesForwarded++
+		default:
+			s.forward(of, lat)
+		}
+	}
+}
+
+// forward sends a frame toward its destination MAC after the pipeline
+// latency.
+func (s *Switch) forward(f *packet.Frame, latency time.Duration) {
+	pnum, ok := s.hosts[f.Eth.Dst]
+	if !ok {
+		s.UnknownMAC++
+		s.FramesDropped++
+		return
+	}
+	s.FramesForwarded++
+	s.sendOut(pnum, f, latency)
+}
+
+func (s *Switch) sendOut(pnum int, f *packet.Frame, latency time.Duration) {
+	p, ok := s.ports[pnum]
+	if !ok {
+		s.FramesDropped++
+		return
+	}
+	raw, err := packet.EncodeFrame(f)
+	if err != nil {
+		s.FramesDropped++
+		return
+	}
+	s.eng.Schedule(latency, func() { p.Send(raw) })
+}
+
+// SendToHost lets the controller emit a frame toward a host MAC (allocation
+// responses and reactivation notices).
+func (s *Switch) SendToHost(dst packet.MAC, a *packet.Active) error {
+	pnum, ok := s.hosts[dst]
+	if !ok {
+		return fmt.Errorf("switchd: no port for host %s", dst)
+	}
+	f := &packet.Frame{
+		Eth:    packet.EthHeader{Dst: dst, Src: s.mac, EtherType: packet.EtherTypeActive},
+		Active: a,
+		Inner:  a.Payload,
+	}
+	raw, err := packet.EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	s.ports[pnum].Send(raw)
+	return nil
+}

@@ -1,0 +1,112 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"activermt/internal/apps"
+)
+
+// Lossy-network tests: the paper's reliability story is idempotence plus
+// client retransmission (Section 4.3); these tests run the protocol over
+// links that drop frames.
+
+func TestAllocationSurvivesLoss(t *testing.T) {
+	tb := newBed(t)
+	ms := apps.NewMemSync()
+	cl := tb.AddClient(1, apps.MemSyncService(2))
+	ms.Bind(cl)
+	cl.RetryAfter = 50 * time.Millisecond
+
+	// 30% loss in both directions on the client's link.
+	cl.Port().SetLoss(0.3, 7)
+	cl.Port().Peer().SetLoss(0.3, 8)
+
+	if err := cl.RequestAllocation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitOperational(cl, 30*time.Second); err != nil {
+		t.Fatalf("never became operational under loss: %v (retries=%d)", err, cl.Retries)
+	}
+	if cl.Placement() == nil {
+		t.Fatal("no placement")
+	}
+}
+
+func TestMemSyncRetransmitsUnderLoss(t *testing.T) {
+	tb := newBed(t)
+	ms := apps.NewMemSync()
+	cl := tb.AddClient(1, apps.MemSyncService(2))
+	ms.Bind(cl)
+	cl.RetryAfter = 50 * time.Millisecond
+	if err := cl.RequestAllocation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitOperational(cl, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose 40% of frames from here on; reads and writes are idempotent, so
+	// the driver's retransmission converges.
+	cl.Port().SetLoss(0.4, 21)
+	cl.Port().Peer().SetLoss(0.4, 22)
+
+	done := 0
+	for i := uint32(0); i < 32; i++ {
+		ms.Write(i, 0xA000+i, func(uint32) { done++ })
+	}
+	tb.RunFor(5 * time.Second)
+	if done != 32 {
+		t.Fatalf("writes acknowledged: %d/32 (retries=%d)", done, ms.Retries)
+	}
+	if ms.Retries == 0 {
+		t.Error("no retransmissions under 40% loss — loss model inert?")
+	}
+
+	reads := 0
+	for i := uint32(0); i < 32; i++ {
+		want := 0xA000 + i
+		ms.Read(i, func(v uint32) {
+			if v != want {
+				t.Errorf("read %d = %#x, want %#x", i, v, want)
+			}
+			reads++
+		})
+	}
+	tb.RunFor(5 * time.Second)
+	if reads != 32 {
+		t.Fatalf("reads answered: %d/32", reads)
+	}
+	if ms.Outstanding() != 0 {
+		t.Errorf("outstanding = %d", ms.Outstanding())
+	}
+}
+
+func TestDuplicateAllocationRequestIdempotent(t *testing.T) {
+	tb := newBed(t)
+	c := apps.NewCache(MACFor(200), IPFor(300), IPFor(999))
+	cl := tb.AddClient(1, apps.CacheService(c))
+	c.Bind(cl)
+	if err := cl.RequestAllocation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitOperational(cl, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	first := cl.Placement().Accesses[0]
+
+	// A duplicate request (as a retransmission would produce) must return
+	// the same placement, not fail or double-allocate.
+	if err := cl.RequestAllocation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitOperational(cl, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Placement().Accesses[0]; got != first {
+		t.Errorf("placement changed on duplicate request: %+v -> %+v", first, got)
+	}
+	if tb.Ctrl.Allocator().NumApps() != 1 {
+		t.Errorf("apps = %d after duplicate request", tb.Ctrl.Allocator().NumApps())
+	}
+}
