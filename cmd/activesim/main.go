@@ -8,17 +8,28 @@
 //	activesim -scenario multi      # four staggered cache tenants (Fig 9b)
 //	activesim -scenario lb         # Cheetah load balancing across 4 servers
 //	activesim -scenario churn      # Poisson arrivals/departures (Fig 8a)
+//
+// The cache scenario accepts -chaos <name> to run under a fault schedule
+// from the chaos library (deterministic per -seed):
+//
+//	activesim -scenario cache -chaos flaky-link        # bursty loss on the client link
+//	activesim -scenario cache -chaos flapping-port     # the client port goes down/up
+//	activesim -scenario cache -chaos controller-outage # control-plane crash + restart
+//	activesim -scenario cache -chaos corrupted-memory  # SRAM bit flips + sweep-and-repair
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"activermt/internal/apps"
+	"activermt/internal/chaos"
 	"activermt/internal/client"
 	"activermt/internal/experiments"
+	"activermt/internal/netsim"
 	"activermt/internal/packet"
 	"activermt/internal/testbed"
 	"activermt/internal/workload"
@@ -27,12 +38,17 @@ import (
 func main() {
 	scenario := flag.String("scenario", "cache", "cache | multi | lb | churn")
 	seed := flag.Int64("seed", 1, "workload seed")
+	chaosName := flag.String("chaos", "", "fault scenario for -scenario cache: "+strings.Join(chaos.Names(), " | "))
 	flag.Parse()
 
+	if *chaosName != "" && *scenario != "cache" {
+		fmt.Fprintln(os.Stderr, "activesim: -chaos only applies to -scenario cache")
+		os.Exit(2)
+	}
 	var err error
 	switch *scenario {
 	case "cache":
-		err = runCache(*seed)
+		err = runCache(*seed, *chaosName)
 	case "multi":
 		err = runFromExperiment("fig9b", *seed)
 	case "churn":
@@ -65,7 +81,7 @@ func runFromExperiment(id string, seed int64) error {
 	return nil
 }
 
-func runCache(seed int64) error {
+func runCache(seed int64, chaosName string) error {
 	tb, err := testbed.New(testbed.DefaultConfig())
 	if err != nil {
 		return err
@@ -107,6 +123,26 @@ func runCache(seed int64) error {
 	tb.RunFor(50 * time.Millisecond)
 	fmt.Printf("[%8.3fs] populated %d objects\n", tb.Eng.Now().Seconds(), cache.PopAcks)
 
+	var sc *chaos.Scenario
+	if chaosName != "" {
+		// Fault tolerance knobs the scenarios lean on: retry with backoff,
+		// escape a stuck reallocation window.
+		cl.RetryAfter = 50 * time.Millisecond
+		cl.ReallocTimeout = 250 * time.Millisecond
+		if chaosName == "corrupted-memory" {
+			// Target the stage the cache actually lives in, so the bit
+			// flips land on live application state.
+			stage := pl.Accesses[0].Logical % 20
+			sc = chaos.CorruptedMemory(stage, 24, 100*time.Millisecond, 300*time.Millisecond, seed)
+		} else if sc, err = chaos.Build(chaosName, []*netsim.Port{cl.Port()}, seed); err != nil {
+			return err
+		}
+		if err := sc.Install(tb.System()); err != nil {
+			return err
+		}
+		fmt.Printf("[%8.3fs] chaos scenario %q armed (seed %d)\n", tb.Eng.Now().Seconds(), sc.Name, seed)
+	}
+
 	for window := 0; window < 5; window++ {
 		cache.ResetStats()
 		for i := 0; i < 5000; i++ {
@@ -117,6 +153,18 @@ func runCache(seed int64) error {
 		tb.RunFor(5 * time.Millisecond)
 		fmt.Printf("[%8.3fs] window %d: hit rate %.3f (%d hits, %d misses, server saw %d)\n",
 			tb.Eng.Now().Seconds(), window, cache.HitRate(), cache.Hits, cache.Misses, srv.Requests)
+	}
+	if sc != nil {
+		tb.RunFor(2 * time.Second) // let the fault schedule and recovery settle
+		fmt.Printf("[%8.3fs] chaos trace:\n", tb.Eng.Now().Seconds())
+		for _, e := range sc.Trace() {
+			fmt.Printf("    %s\n", e)
+		}
+		fmt.Printf("    client: state=%v retries=%d reallocations=%d realloc-timeouts=%d\n",
+			cl.State(), cl.Retries, cl.Reallocations, cl.ReallocTimeouts)
+		fmt.Printf("    controller: crashes=%d restarts=%d readmissions=%d digests-dropped=%d quarantined-blocks=%d\n",
+			tb.Ctrl.Crashes, tb.Ctrl.Restarts, tb.Ctrl.Readmissions,
+			tb.Ctrl.DigestsDropped, tb.Ctrl.Allocator().QuarantinedBlocks())
 	}
 	return nil
 }

@@ -804,10 +804,12 @@ func (a *Allocator) placementFor(app *App) *Placement {
 	return p
 }
 
-// PlacementFor returns the current placement of a resident app.
+// PlacementFor returns the current placement of a resident app. Apps in
+// recovered form (no constraints on file after a controller restart) have
+// no materializable placement and report false; see Readmit.
 func (a *Allocator) PlacementFor(fid uint16) (*Placement, bool) {
 	app, ok := a.apps[fid]
-	if !ok {
+	if !ok || app.Cons == nil {
 		return nil, false
 	}
 	return a.placementFor(app), true

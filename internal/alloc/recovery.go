@@ -1,0 +1,262 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Controller crash-recovery and memory-quarantine support. The switch
+// tables (protection TCAM regions) survive a control-plane crash, so a
+// restarted controller rebuilds its allocation books by reading them back:
+// each resident FID is re-registered at its installed regions, pinned in
+// place and without constraints (those live client-side). When the client's
+// retransmitted allocation request arrives, Readmit upgrades the recovered
+// entry to full state by matching the constraints against the installed
+// placement. Quarantine/Evacuate implement graceful degradation when a
+// stage's SRAM is corrupted: the bad blocks are fenced off under a reserved
+// owner and the victim application is re-placed around them.
+
+// QuarantineFID is the reserved interval owner of quarantined blocks; it is
+// never a valid application FID.
+const QuarantineFID uint16 = 0xFFFF
+
+// Recover re-registers fid as resident at the given per-stage block
+// regions, as read back from the switch tables after a controller restart.
+// The app is held pinned at exactly those regions (even if it was elastic
+// before the crash) until Readmit restores its constraints — conservative,
+// but guarantees the data plane stays consistent with the books.
+func (a *Allocator) Recover(fid uint16, regions map[int]BlockRange) error {
+	if fid == QuarantineFID {
+		return fmt.Errorf("alloc: fid %d is reserved", fid)
+	}
+	if _, dup := a.apps[fid]; dup {
+		return fmt.Errorf("alloc: fid %d already resident", fid)
+	}
+	app := &App{FID: fid, regions: map[int]BlockRange{}}
+	stages := make([]int, 0, len(regions))
+	for s := range regions {
+		stages = append(stages, s)
+	}
+	sort.Ints(stages)
+	for _, s := range stages {
+		r := regions[s]
+		if s < 0 || s >= a.cfg.NumStages || r.Lo < 0 || r.Hi > a.blocks || r.Size() < 1 {
+			return fmt.Errorf("alloc: recovered region %+v at stage %d out of range", r, s)
+		}
+		if iv, clash := a.pinned[s].conflict(r); clash {
+			return fmt.Errorf("alloc: recovered region %+v at stage %d overlaps fid %d", r, s, iv.fid)
+		}
+		a.pinned[s].insert(interval{BlockRange: r, fid: fid})
+		app.regions[s] = r
+	}
+	a.apps[fid] = app
+	a.recomputeElastic()
+	return nil
+}
+
+// Recovered reports whether fid is resident in recovered form: pinned at
+// its pre-crash regions with no constraints on file.
+func (a *Allocator) Recovered(fid uint16) bool {
+	app, ok := a.apps[fid]
+	return ok && app.Cons == nil
+}
+
+// Readmit upgrades a recovered app to fully-admitted state using the
+// constraints from the client's retransmitted allocation request. The
+// mutant is recovered by matching each candidate's physical projection
+// against the installed regions; if none matches (tables and request
+// disagree), the recovered placement is discarded and a fresh allocation is
+// attempted.
+func (a *Allocator) Readmit(fid uint16, cons *Constraints) (*Result, error) {
+	app, ok := a.apps[fid]
+	if !ok || app.Cons != nil {
+		return nil, fmt.Errorf("alloc: fid %d not in recovered state", fid)
+	}
+	if err := cons.Validate(); err != nil {
+		return nil, err
+	}
+	evict := func() {
+		for _, s := range a.pinned {
+			s.removeOwner(fid)
+		}
+		delete(a.apps, fid)
+	}
+	if len(cons.Accesses) == 0 {
+		// Stateless request against a stateful recovered entry: the tables
+		// lied or the client changed programs; start over.
+		evict()
+		a.recomputeElastic()
+		return nil, fmt.Errorf("alloc: fid %d readmitted stateless against recovered regions", fid)
+	}
+	bounds, err := ComputeBounds(cons, a.cfg.Policy, a.cfg.NumStages, a.cfg.NumIngress, a.cfg.MaxPasses)
+	if err != nil {
+		evict()
+		a.recomputeElastic()
+		return &Result{Failed: true, Reason: "infeasible-constraints"}, nil
+	}
+	mutants := EnumerateMutants(bounds, a.cfg.NumStages)
+	match := a.matchMutant(cons, mutants, app.regions)
+	if match < 0 {
+		// No mutant projects onto the installed stages: re-place from
+		// scratch (the recovered regions are freed first).
+		evict()
+		a.recomputeElastic()
+		return a.Allocate(fid, cons)
+	}
+
+	app.Cons = cons
+	app.Mut = mutants[match]
+	app.MutantIdx = match
+	app.Elastic = cons.Elastic
+	app.groups = buildGroups(cons, app.Mut, a.cfg.NumStages)
+	res := &Result{MutantsTotal: len(mutants), MutantsFeasible: 1}
+	if cons.Elastic {
+		// Restore elasticity: drop the pinned placeholder and let the
+		// shared waterfill re-place the app (its regions may move — the
+		// normal reallocation protocol informs the client).
+		before := a.snapshotElasticRegions()
+		for _, s := range a.pinned {
+			s.removeOwner(fid)
+		}
+		a.recomputeElastic()
+		for _, g := range app.groups {
+			for _, s := range g.stages {
+				if app.regions[s].Size() < 1 {
+					// Could not re-place elastically (quarantine or new
+					// tenants squeezed it out); evict and report failure.
+					evict()
+					a.recomputeElastic()
+					res.Failed = true
+					res.Reason = "readmit-placement-failed"
+					return res, nil
+				}
+			}
+		}
+		res.New = a.placementFor(app)
+		res.Reallocated = a.changedPlacements(before, fid)
+		return res, nil
+	}
+	res.New = a.placementFor(app)
+	return res, nil
+}
+
+// matchMutant returns the index of the first mutant whose physical stage
+// projection and alignment structure are consistent with the installed
+// regions, or -1.
+func (a *Allocator) matchMutant(cons *Constraints, mutants []Mutant, regions map[int]BlockRange) int {
+	for idx, m := range mutants {
+		groups := buildGroups(cons, m, a.cfg.NumStages)
+		stagesSeen := map[int]bool{}
+		ok := true
+		for _, g := range groups {
+			var common BlockRange
+			for i, s := range g.stages {
+				r, has := regions[s]
+				if !has || (g.demand > 0 && r.Size() < g.demand) {
+					ok = false
+					break
+				}
+				if i == 0 {
+					common = r
+				} else if r != common {
+					ok = false // aligned accesses must share one range
+					break
+				}
+				stagesSeen[s] = true
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok && len(stagesSeen) == len(regions) {
+			return idx
+		}
+	}
+	return -1
+}
+
+// Quarantine fences off the blocks of r in stage under the reserved owner
+// so no future placement uses them. The blocks must not be pinned to a
+// resident app (evacuate the owner first); elastic neighbors are re-placed
+// around the fence and their changed placements returned.
+func (a *Allocator) Quarantine(stage int, r BlockRange) ([]*Placement, error) {
+	if stage < 0 || stage >= a.cfg.NumStages || r.Lo < 0 || r.Hi > a.blocks || r.Size() < 1 {
+		return nil, fmt.Errorf("alloc: quarantine %+v at stage %d out of range", r, stage)
+	}
+	if iv, clash := a.pinned[stage].conflict(r); clash {
+		if iv.fid == QuarantineFID {
+			return nil, nil // already fenced
+		}
+		return nil, fmt.Errorf("alloc: quarantine %+v at stage %d overlaps pinned fid %d", r, stage, iv.fid)
+	}
+	before := a.snapshotElasticRegions()
+	a.pinned[stage].insert(interval{BlockRange: r, fid: QuarantineFID})
+	a.recomputeElastic()
+	return a.changedPlacements(before, QuarantineFID), nil
+}
+
+// QuarantinedIn reports whether the given block of a stage is quarantined.
+func (a *Allocator) QuarantinedIn(stage, block int) bool {
+	if stage < 0 || stage >= a.cfg.NumStages {
+		return false
+	}
+	iv, clash := a.pinned[stage].conflict(BlockRange{Lo: block, Hi: block + 1})
+	return clash && iv.fid == QuarantineFID
+}
+
+// QuarantinedBlocks returns the total quarantined blocks across all stages.
+func (a *Allocator) QuarantinedBlocks() int {
+	total := 0
+	for _, set := range a.pinned {
+		for _, iv := range set.ivs {
+			if iv.fid == QuarantineFID {
+				total += iv.Size()
+			}
+		}
+	}
+	return total
+}
+
+// Evacuate quarantines the given per-stage block ranges (disjoint within a
+// stage — typically individual corrupted blocks, so healthy blocks between
+// them stay usable) and re-places fid around them, keeping its FID and
+// constraints. The result's Reallocated list covers every app whose regions
+// moved (including elastic neighbors). If the app cannot be re-placed — or
+// was only in recovered form, with no constraints to re-place from — it is
+// evicted and the result marked failed.
+func (a *Allocator) Evacuate(fid uint16, quar map[int][]BlockRange) (*Result, error) {
+	app, ok := a.apps[fid]
+	if !ok {
+		return nil, fmt.Errorf("alloc: fid %d not resident", fid)
+	}
+	before := a.snapshotElasticRegions()
+	delete(before, fid) // the victim always gets a fresh placement
+	cons := app.Cons
+	for _, s := range a.pinned {
+		s.removeOwner(fid)
+	}
+	delete(a.apps, fid)
+	stages := make([]int, 0, len(quar))
+	for s := range quar {
+		stages = append(stages, s)
+	}
+	sort.Ints(stages)
+	for _, s := range stages {
+		for _, r := range quar[s] {
+			if _, clash := a.pinned[s].conflict(r); clash {
+				continue // already fenced (or raced with another pin)
+			}
+			a.pinned[s].insert(interval{BlockRange: r, fid: QuarantineFID})
+		}
+	}
+	a.recomputeElastic()
+	if cons == nil {
+		return &Result{Failed: true, Reason: "recovered-app-evicted"}, nil
+	}
+	res, err := a.Allocate(fid, cons)
+	if err != nil {
+		return res, err
+	}
+	res.Reallocated = a.changedPlacements(before, fid)
+	return res, nil
+}

@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"activermt/internal/netsim"
+	"activermt/internal/packet"
+)
+
+// seedSkew decorrelates the two directions of a duplex link without needing
+// a second user-supplied seed.
+const seedSkew = int64(0x5e3779b97f4a7c15)
+
+// LinkLoss drops a fraction of frames in both directions of the duplex link
+// that Link is one end of.
+type LinkLoss struct {
+	Link *netsim.Port
+	Rate float64
+	Seed int64
+}
+
+// Name implements Injector.
+func (l LinkLoss) Name() string { return fmt.Sprintf("loss(%.0f%%)", l.Rate*100) }
+
+// Apply implements Injector.
+func (l LinkLoss) Apply(*System) {
+	l.Link.SetLoss(l.Rate, l.Seed)
+	l.Link.Peer().SetLoss(l.Rate, l.Seed^seedSkew)
+}
+
+// Revert implements Injector.
+func (l LinkLoss) Revert(*System) {
+	l.Link.SetLoss(0, 0)
+	l.Link.Peer().SetLoss(0, 0)
+}
+
+// LinkDelay adds fixed extra latency plus uniform jitter from [0, Jitter) to
+// both directions of a link. Jitter wider than the inter-frame gap reorders
+// deliveries.
+type LinkDelay struct {
+	Link          *netsim.Port
+	Extra, Jitter time.Duration
+	Seed          int64
+}
+
+// Name implements Injector.
+func (l LinkDelay) Name() string { return fmt.Sprintf("delay(%v+%v)", l.Extra, l.Jitter) }
+
+// Apply implements Injector.
+func (l LinkDelay) Apply(*System) {
+	l.Link.SetExtraDelay(l.Extra, l.Jitter, l.Seed)
+	l.Link.Peer().SetExtraDelay(l.Extra, l.Jitter, l.Seed^seedSkew)
+}
+
+// Revert implements Injector.
+func (l LinkDelay) Revert(*System) {
+	l.Link.SetExtraDelay(0, 0, 0)
+	l.Link.Peer().SetExtraDelay(0, 0, 0)
+}
+
+// PortDown takes one port administratively down, killing both directions of
+// its link (its sends are dropped at the port; frames in flight toward it
+// are dropped on delivery). Revert brings it back up.
+type PortDown struct {
+	Port *netsim.Port
+}
+
+// Name implements Injector.
+func (PortDown) Name() string { return "port-down" }
+
+// Apply implements Injector.
+func (p PortDown) Apply(*System) { p.Port.SetDown(true) }
+
+// Revert implements Injector.
+func (p PortDown) Revert(*System) { p.Port.SetDown(false) }
+
+// Partition isolates a set of ports (e.g. every port on one side of a cut).
+type Partition struct {
+	Ports []*netsim.Port
+}
+
+// Name implements Injector.
+func (p Partition) Name() string { return fmt.Sprintf("partition(%d)", len(p.Ports)) }
+
+// Apply implements Injector.
+func (p Partition) Apply(*System) {
+	for _, port := range p.Ports {
+		port.SetDown(true)
+	}
+}
+
+// Revert implements Injector.
+func (p Partition) Revert(*System) {
+	for _, port := range p.Ports {
+		port.SetDown(false)
+	}
+}
+
+// ControllerStall wedges the controller CPU: digests keep queueing but
+// nothing is processed until Revert.
+type ControllerStall struct{}
+
+// Name implements Injector.
+func (ControllerStall) Name() string { return "controller-stall" }
+
+// Apply implements Injector.
+func (ControllerStall) Apply(sys *System) { sys.Ctrl.Stall() }
+
+// Revert implements Injector.
+func (ControllerStall) Revert(sys *System) { sys.Ctrl.Resume() }
+
+// ControllerCrash kills the control plane (losing its queue, client
+// directory, and allocation books; the data plane keeps running). Revert
+// restarts it, rebuilding allocation state from the switch tables.
+type ControllerCrash struct{}
+
+// Name implements Injector.
+func (ControllerCrash) Name() string { return "controller-crash" }
+
+// Apply implements Injector.
+func (ControllerCrash) Apply(sys *System) { sys.Ctrl.Crash() }
+
+// Revert implements Injector.
+func (ControllerCrash) Revert(sys *System) { sys.Ctrl.Restart() }
+
+// DigestDrop discards a fraction of data-plane-to-controller digests (the
+// switch CPU path is itself lossy under load).
+type DigestDrop struct {
+	Rate float64
+	Seed int64
+}
+
+// Name implements Injector.
+func (d DigestDrop) Name() string { return fmt.Sprintf("digest-drop(%.0f%%)", d.Rate*100) }
+
+// Apply implements Injector.
+func (d DigestDrop) Apply(sys *System) {
+	rng := rand.New(rand.NewSource(d.Seed))
+	rate := d.Rate
+	sys.Ctrl.DigestFilter = func(f *packet.Frame) bool { return rng.Float64() < rate }
+}
+
+// Revert implements Injector.
+func (DigestDrop) Revert(sys *System) { sys.Ctrl.DigestFilter = nil }
+
+// RegisterCorruption flips Bits random bits in one stage's register SRAM
+// (soft errors). The parity kept by the write path is left stale, so the
+// damage is invisible to the data plane until a controller sweep
+// (SweepAndRepair) finds the mismatches. When PreferOwned is set and the
+// stage has installed regions, corrupted addresses are drawn from them, so
+// the fault lands on live application state.
+type RegisterCorruption struct {
+	Stage       int
+	Bits        int
+	Seed        int64
+	PreferOwned bool
+}
+
+// Name implements Injector.
+func (r RegisterCorruption) Name() string {
+	return fmt.Sprintf("corrupt(stage%d,%db)", r.Stage, r.Bits)
+}
+
+// Apply implements Injector.
+func (r RegisterCorruption) Apply(sys *System) {
+	rng := rand.New(rand.NewSource(r.Seed))
+	regs := sys.RT.Device().Stage(r.Stage).Registers
+	var owned [][2]uint32 // [lo, hi) candidate ranges
+	if r.PreferOwned {
+		for _, fid := range sys.RT.AdmittedFIDs() {
+			if reg, ok := sys.RT.InstalledRegions(fid)[r.Stage]; ok && reg.Hi > reg.Lo {
+				owned = append(owned, [2]uint32{reg.Lo, reg.Hi})
+			}
+		}
+	}
+	for i := 0; i < r.Bits; i++ {
+		var addr uint32
+		if len(owned) > 0 {
+			span := owned[rng.Intn(len(owned))]
+			addr = span[0] + uint32(rng.Int63n(int64(span[1]-span[0])))
+		} else {
+			addr = uint32(rng.Int63n(int64(regs.Len())))
+		}
+		_ = regs.CorruptBit(addr, uint(rng.Intn(32)))
+	}
+}
+
+// Revert implements Injector: corruption is one-shot, repair happens
+// in-protocol (sweep, quarantine, reallocate).
+func (RegisterCorruption) Revert(*System) {}

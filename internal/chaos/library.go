@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"activermt/internal/netsim"
+)
+
+// The scenario library: named, parameterized fault schedules covering the
+// failure modes the allocation protocol must survive. Each constructor
+// returns a Scenario ready to Install; the caller supplies the target ports
+// (faults on links are topology decisions, not system decisions).
+
+// Names lists the library scenarios accepted by Build (and activesim
+// -chaos).
+func Names() []string {
+	return []string{"flaky-link", "flapping-port", "controller-outage", "corrupted-memory"}
+}
+
+// Build constructs a library scenario by name. links are the client-side
+// duplex links faults apply to (any end of each link); scenarios that only
+// touch the controller or switch memory ignore them.
+func Build(name string, links []*netsim.Port, seed int64) (*Scenario, error) {
+	switch name {
+	case "flaky-link":
+		return FlakyLink(links, seed), nil
+	case "flapping-port":
+		if len(links) == 0 {
+			return nil, fmt.Errorf("chaos: %s needs at least one link", name)
+		}
+		return FlappingPort(links[0], 300*time.Millisecond, 5, seed), nil
+	case "controller-outage":
+		return ControllerOutage(40*time.Millisecond, 400*time.Millisecond, seed), nil
+	case "corrupted-memory":
+		return CorruptedMemory(0, 24, 200*time.Millisecond, 400*time.Millisecond, seed), nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Names())
+	}
+}
+
+// FlakyLink alternates bursts of heavy loss with quiet periods on every
+// given link: loss rates are drawn per burst from the scenario PRNG, so the
+// protocol sees both moderate and severe loss. Exercises request/response
+// retransmission and the controller's snapshot-window escalation.
+func FlakyLink(links []*netsim.Port, seed int64) *Scenario {
+	s := NewScenario("flaky-link", seed)
+	rng := s.Rand("burst-rates")
+	const bursts = 6
+	for i := 0; i < bursts; i++ {
+		rate := 0.2 + 0.4*rng.Float64()
+		at := time.Duration(i) * 400 * time.Millisecond
+		for j, l := range links {
+			inj := LinkLoss{Link: l, Rate: rate, Seed: seed + int64(i*31+j)}
+			s.Apply(at, inj)
+			s.Revert(at+200*time.Millisecond, inj)
+		}
+	}
+	return s
+}
+
+// FlappingPort takes one port down and up repeatedly (half the period down,
+// half up). In-flight frames die on every down transition; the client rides
+// through on retries and resumes on re-up.
+func FlappingPort(p *netsim.Port, period time.Duration, flaps int, seed int64) *Scenario {
+	s := NewScenario("flapping-port", seed)
+	inj := PortDown{Port: p}
+	for k := 0; k < flaps; k++ {
+		at := time.Duration(k) * period
+		s.Apply(at, inj)
+		s.Revert(at+period/2, inj)
+	}
+	return s
+}
+
+// ControllerOutage crashes the control plane at crashAt and restarts it
+// downFor later. Everything in controller memory — admission queue, client
+// directory, allocation books — is lost; the restarted controller rebuilds
+// from the switch tables and re-admits clients idempotently as their
+// retransmitted requests arrive. Timed against an admission that forces
+// reallocations, this is the paper's worst case: a crash in the middle of
+// the deactivate/snapshot/update window.
+func ControllerOutage(crashAt, downFor time.Duration, seed int64) *Scenario {
+	s := NewScenario("controller-outage", seed)
+	inj := ControllerCrash{}
+	s.Apply(crashAt, inj)
+	s.Revert(crashAt+downFor, inj)
+	return s
+}
+
+// CorruptedMemory flips bits in one stage's register SRAM at corruptAt —
+// preferentially inside installed application regions — and runs the
+// controller's sweep-and-repair pass at sweepAt. The sweep scrubs the
+// damaged words, quarantines the affected blocks, and re-places the owning
+// applications around the fence via the normal reallocation protocol.
+func CorruptedMemory(stage, bits int, corruptAt, sweepAt time.Duration, seed int64) *Scenario {
+	s := NewScenario("corrupted-memory", seed)
+	s.Apply(corruptAt, RegisterCorruption{Stage: stage, Bits: bits, Seed: seed, PreferOwned: true})
+	s.At(sweepAt, "sweep-and-repair", func(sys *System) { sys.Ctrl.SweepAndRepair() })
+	return s
+}

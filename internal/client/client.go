@@ -10,6 +10,7 @@ package client
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -138,10 +139,22 @@ type Client struct {
 	// Pipeline is the switch shape the client compiles against.
 	Pipeline Pipeline
 
-	// RetryAfter rearms unanswered allocation requests (the shim polls the
-	// controller; requests and responses can be lost). Zero disables
-	// retries.
+	// RetryAfter is the initial interval for rearming unanswered allocation
+	// requests (the shim polls the controller; requests and responses can
+	// be lost). Zero disables retries.
 	RetryAfter time.Duration
+	// RetryBackoff multiplies the interval after each retry; values < 1
+	// (including the zero value) fall back to the default factor of 2.
+	// Set to exactly 1 for fixed-interval retries.
+	RetryBackoff float64
+	// RetryCap bounds the backed-off interval; zero means 16x RetryAfter.
+	RetryCap time.Duration
+	// ReallocTimeout bounds the memory-management window: a client stuck
+	// waiting for the reactivation notice (lost notice, crashed controller)
+	// re-enters negotiation after this long. Re-requesting is safe — the
+	// controller answers retransmitted requests idempotently. Zero disables
+	// the escape.
+	ReallocTimeout time.Duration
 
 	state     State
 	placement *alloc.Placement
@@ -154,9 +167,20 @@ type Client struct {
 	// Counters.
 	Sent, SentUnactivated, Received uint64
 	Reallocations, Retries          uint64
+	// PhaseRetries counts retries within the current negotiation phase
+	// (reset by each RequestAllocation call); ReallocTimeouts counts
+	// escapes from stuck memory-management windows.
+	PhaseRetries    uint64
+	ReallocTimeouts uint64
 
 	reqEpoch uint64
+	mmEpoch  uint64
+	rng      *rand.Rand
 }
+
+// retryJitterFrac randomizes each retry interval by +/-10% so clients that
+// start together do not retry in lockstep.
+const retryJitterFrac = 0.1
 
 // New builds a client for fid running svc.
 func New(eng *netsim.Engine, fid uint16, mac, switchMAC packet.MAC, svc *Service) *Client {
@@ -171,6 +195,9 @@ func New(eng *netsim.Engine, fid uint16, mac, switchMAC packet.MAC, svc *Service
 		svc:       svc,
 		Pipeline:  DefaultPipeline(),
 		progs:     map[string]*isa.Program{},
+		// Deterministic per-FID jitter source: same topology, same seed,
+		// same retry trace.
+		rng: rand.New(rand.NewSource(int64(fid)*2654435761 + 1)),
 	}
 }
 
@@ -219,16 +246,36 @@ func (c *Client) RequestAllocation() error {
 	a.Header.SetType(packet.TypeAllocReq)
 	c.state = Negotiating
 	c.reqEpoch++
+	c.PhaseRetries = 0
 	if c.RetryAfter > 0 {
 		epoch := c.reqEpoch
+		factor := c.RetryBackoff
+		if factor < 1 {
+			factor = 2
+		}
+		limit := c.RetryCap
+		if limit <= 0 {
+			limit = 16 * c.RetryAfter
+		}
+		interval := c.RetryAfter
 		var rearm func()
 		rearm = func() {
-			c.eng.Schedule(c.RetryAfter, func() {
+			d := interval
+			if j := int64(float64(d) * retryJitterFrac); j > 0 {
+				d += time.Duration(c.rng.Int63n(2*j+1) - j)
+			}
+			c.eng.Schedule(d, func() {
 				if c.state != Negotiating || c.reqEpoch != epoch {
 					return
 				}
 				c.Retries++
+				c.PhaseRetries++
 				_ = c.sendActive(a, c.switchMAC)
+				if next := time.Duration(float64(interval) * factor); next < limit {
+					interval = next
+				} else {
+					interval = limit
+				}
 				rearm()
 			})
 		}
@@ -436,6 +483,20 @@ func (c *Client) applyAllocation(resp *packet.AllocResponse) {
 func (c *Client) beginRealloc(resp *packet.AllocResponse) {
 	c.Reallocations++
 	c.state = MemMgmt
+	c.mmEpoch++
+	if c.ReallocTimeout > 0 {
+		epoch := c.mmEpoch
+		c.eng.Schedule(c.ReallocTimeout, func() {
+			if c.state != MemMgmt || c.mmEpoch != epoch {
+				return
+			}
+			// The reactivation notice never came (lost frame or a controller
+			// that died mid-window): fall back to a fresh allocation request,
+			// which the controller answers idempotently.
+			c.ReallocTimeouts++
+			_ = c.RequestAllocation()
+		})
+	}
 	newPl, err := c.placementFromResponse(resp)
 	if err != nil {
 		// Cannot interpret the new placement: release the switch anyway.

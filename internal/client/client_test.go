@@ -467,3 +467,125 @@ func TestSendProgramUnknownTemplate(t *testing.T) {
 		t.Error("unknown template sent as active")
 	}
 }
+
+// timedCapture records the virtual arrival time of each allocation request.
+type timedCapture struct {
+	eng   *netsim.Engine
+	times []time.Duration
+}
+
+func (tc *timedCapture) Receive(frame []byte, p *netsim.Port) {
+	f, err := packet.DecodeFrame(frame)
+	if err != nil {
+		return
+	}
+	if f.Active != nil && f.Active.Header.Type() == packet.TypeAllocReq {
+		tc.times = append(tc.times, tc.eng.Now())
+	}
+}
+
+func TestRetryBackoffGrowsAndCaps(t *testing.T) {
+	eng := netsim.NewEngine()
+	tc := &timedCapture{eng: eng}
+	cl := New(eng, 7, packet.MAC{1}, packet.MAC{0xFF}, cacheService())
+	_, cp := netsim.Connect(eng, tc, 0, cl, 0, 0, 0)
+	cl.Attach(cp)
+	cl.RetryAfter = 10 * time.Millisecond
+	cl.RetryBackoff = 2
+	cl.RetryCap = 40 * time.Millisecond
+	if err := cl.RequestAllocation(); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(500 * time.Millisecond)
+	if len(tc.times) < 4 {
+		t.Fatalf("requests = %d, want retries", len(tc.times))
+	}
+	// Gaps grow geometrically (10, 20, 40) then cap at 40ms; jitter is
+	// +/-10%, so bound each gap loosely.
+	gaps := make([]time.Duration, 0, len(tc.times)-1)
+	for i := 1; i < len(tc.times); i++ {
+		gaps = append(gaps, tc.times[i]-tc.times[i-1])
+	}
+	within := func(g, want time.Duration) bool {
+		lo := want - want/5
+		hi := want + want/5
+		return g >= lo && g <= hi
+	}
+	if !within(gaps[0], 10*time.Millisecond) || !within(gaps[1], 20*time.Millisecond) {
+		t.Errorf("early gaps = %v, want ~10ms then ~20ms", gaps[:2])
+	}
+	for i, g := range gaps[2:] {
+		if !within(g, 40*time.Millisecond) {
+			t.Errorf("gap %d = %v, want capped at ~40ms", i+2, g)
+		}
+	}
+	if cl.PhaseRetries != cl.Retries {
+		t.Errorf("PhaseRetries = %d, Retries = %d", cl.PhaseRetries, cl.Retries)
+	}
+	// A fresh request resets the phase counter and the interval.
+	if err := cl.RequestAllocation(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.PhaseRetries != 0 {
+		t.Errorf("PhaseRetries after new request = %d", cl.PhaseRetries)
+	}
+}
+
+func TestReallocTimeoutEscapesStuckWindow(t *testing.T) {
+	cl, cap, eng := newTestClient(t, cacheService())
+	cl.RetryAfter = 20 * time.Millisecond
+	cl.ReallocTimeout = 50 * time.Millisecond
+	_ = cl.RequestAllocation()
+	respond(t, cl, eng, cap, 0, 0, 512, 0)
+	if !cl.Operational() {
+		t.Fatalf("state = %v", cl.State())
+	}
+	// Realloc notice arrives but the reactivation notice never does (lost
+	// frame / dead controller): the client must not stay stuck in the
+	// memory-management window. Deliver the notice without draining the
+	// event queue (the escape restarts the retry chain, which never runs
+	// dry under Run).
+	cons, err := cl.Service().Constraints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := alloc.ComputeBounds(cons, alloc.MostConstrained, 20, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := alloc.EnumerateMutants(b, 20)
+	resp := &packet.AllocResponse{MutantIndex: 0}
+	for _, logical := range ms[0] {
+		resp.Grants[logical%20] = packet.StageGrant{Start: 512, End: 1024}
+	}
+	a := &packet.Active{
+		Header:    packet.ActiveHeader{FID: cl.FID(), Flags: packet.FlagFromSwch | packet.FlagRealloc},
+		AllocResp: resp,
+	}
+	a.Header.SetType(packet.TypeAllocResp)
+	f := &packet.Frame{Eth: packet.EthHeader{Dst: cl.MAC(), Src: packet.MAC{0xFF}, EtherType: packet.EtherTypeActive}, Active: a}
+	raw, err := packet.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Receive(raw, nil)
+	if cl.State() != MemMgmt {
+		t.Fatalf("state = %v", cl.State())
+	}
+	eng.RunUntil(eng.Now() + 200*time.Millisecond)
+	if cl.ReallocTimeouts == 0 {
+		t.Fatal("realloc timeout never fired")
+	}
+	if cl.State() != Negotiating {
+		t.Fatalf("state = %v, want negotiating after escape", cl.State())
+	}
+	reqs := 0
+	for _, f := range cap.frames {
+		if f.Active != nil && f.Active.Header.Type() == packet.TypeAllocReq {
+			reqs++
+		}
+	}
+	if reqs < 2 {
+		t.Fatalf("requests = %d, want re-request after escape", reqs)
+	}
+}

@@ -12,6 +12,11 @@ type Endpoint interface {
 
 // Port is one end of a full-duplex link. Sends are serialized by the link
 // bandwidth (store-and-forward) and delivered after the propagation delay.
+//
+// Ports double as the injection point for link-level faults (see
+// internal/chaos): probabilistic loss, extra delay with jitter (which also
+// reorders back-to-back frames), and administrative down/up. All fault state
+// defaults to off and costs nothing on the send path while disabled.
 type Port struct {
 	eng   *Engine
 	owner Endpoint
@@ -30,10 +35,24 @@ type Port struct {
 	lossRate float64
 	lossRng  *rand.Rand
 
+	// extraDelay/jitter add to the propagation delay: extraDelay always,
+	// plus a uniform sample from [0, jitter). Jitter can reorder frames.
+	extraDelay time.Duration
+	jitter     time.Duration
+	jitterRng  *rand.Rand
+
+	// down marks the port administratively down: sends are dropped at the
+	// port, and frames still in flight toward it are dropped on delivery.
+	// downGen counts down transitions so a down/up flap mid-flight still
+	// kills the frames that were on the wire.
+	down    bool
+	downGen uint64
+
 	// Counters.
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
 	Lost               uint64
+	DroppedDown        uint64 // frames dropped because the port was down
 }
 
 // Connect wires two endpoints with a full-duplex link. aNum and bNum are the
@@ -50,17 +69,53 @@ func Connect(eng *Engine, a Endpoint, aNum int, b Endpoint, bNum int, delay time
 // SetLoss makes the port drop the given fraction of transmitted frames,
 // deterministically from seed. Loss exercises the idempotent retransmission
 // paths (Section 4.3: "Packets that fail execution do not generate a
-// response ... the client can safely retransmit after a timeout").
+// response ... the client can safely retransmit after a timeout"). A zero
+// rate disarms the fault entirely.
 func (p *Port) SetLoss(rate float64, seed int64) {
 	p.lossRate = rate
-	p.lossRng = rand.New(rand.NewSource(seed))
+	if rate > 0 {
+		p.lossRng = rand.New(rand.NewSource(seed))
+	} else {
+		p.lossRng = nil
+	}
 }
+
+// SetExtraDelay adds extra propagation delay to every transmitted frame,
+// plus a uniform jitter sample from [0, jitter), deterministically from
+// seed. Jitter larger than the inter-frame gap reorders deliveries. Zero
+// extra and zero jitter disarm the fault.
+func (p *Port) SetExtraDelay(extra, jitter time.Duration, seed int64) {
+	p.extraDelay = extra
+	p.jitter = jitter
+	if jitter > 0 {
+		p.jitterRng = rand.New(rand.NewSource(seed))
+	} else {
+		p.jitterRng = nil
+	}
+}
+
+// SetDown takes the port down (or back up). While down, frames sent from
+// the port are dropped immediately and frames already in flight toward it
+// are dropped at delivery time; after re-up, new sends resume normally.
+func (p *Port) SetDown(down bool) {
+	if down && !p.down {
+		p.downGen++
+	}
+	p.down = down
+}
+
+// Down reports whether the port is administratively down.
+func (p *Port) Down() bool { return p.down }
 
 // Send transmits a frame toward the peer endpoint. The frame slice is owned
 // by the receiver after the call.
 func (p *Port) Send(frame []byte) {
 	p.TxFrames++
 	p.TxBytes += uint64(len(frame))
+	if p.down {
+		p.DroppedDown++
+		return
+	}
 	if p.lossRate > 0 && p.lossRng.Float64() < p.lossRate {
 		p.Lost++
 		return
@@ -75,8 +130,19 @@ func (p *Port) Send(frame []byte) {
 	}
 	p.busyUntil = start + tx
 	deliverAt := p.busyUntil + p.delay
+	if p.extraDelay > 0 || p.jitter > 0 {
+		deliverAt += p.extraDelay
+		if p.jitter > 0 {
+			deliverAt += time.Duration(p.jitterRng.Int63n(int64(p.jitter)))
+		}
+	}
 	peer := p.peer
+	gen := peer.downGen
 	p.eng.At(deliverAt, func() {
+		if peer.down || peer.downGen != gen {
+			peer.DroppedDown++
+			return
+		}
 		peer.RxFrames++
 		peer.RxBytes += uint64(len(frame))
 		peer.owner.Receive(frame, peer)

@@ -120,7 +120,7 @@ func TestLinkInfiniteBandwidth(t *testing.T) {
 	e := NewEngine()
 	a, b := &sink{eng: e}, &sink{eng: e}
 	pa, pb := Connect(e, a, 0, b, 0, time.Microsecond, 0)
-	pa.Send(make([]byte, 1 << 20))
+	pa.Send(make([]byte, 1<<20))
 	e.Run()
 	if b.times[0] != time.Microsecond {
 		t.Errorf("delivery at %v", b.times[0])
@@ -136,6 +136,147 @@ func TestLinkInfiniteBandwidth(t *testing.T) {
 	}
 	if pa.Peer() != pb || pa.Engine() != e {
 		t.Error("peer/engine accessors wrong")
+	}
+}
+
+func TestPortDownDropsSendsAndResumes(t *testing.T) {
+	e := NewEngine()
+	a, b := &sink{eng: e}, &sink{eng: e}
+	pa, _ := Connect(e, a, 0, b, 0, time.Microsecond, 0)
+
+	pa.Send([]byte{1})
+	e.Run()
+	pa.SetDown(true)
+	if !pa.Down() {
+		t.Fatal("port not down")
+	}
+	pa.Send([]byte{2})
+	pa.Send([]byte{3})
+	e.Run()
+	if len(b.frames) != 1 {
+		t.Fatalf("delivered %d frames, want 1 (down sends dropped)", len(b.frames))
+	}
+	if pa.DroppedDown != 2 {
+		t.Errorf("DroppedDown = %d, want 2", pa.DroppedDown)
+	}
+	// Re-up resumes delivery.
+	pa.SetDown(false)
+	pa.Send([]byte{4})
+	e.Run()
+	if len(b.frames) != 2 {
+		t.Fatalf("delivered %d frames after re-up, want 2", len(b.frames))
+	}
+	// Counters stay consistent: every transmitted frame is delivered,
+	// dropped-down, or lost.
+	if pa.TxFrames != uint64(len(b.frames))+pa.DroppedDown+pa.Lost {
+		t.Errorf("tx %d != rx %d + droppedDown %d + lost %d",
+			pa.TxFrames, len(b.frames), pa.DroppedDown, pa.Lost)
+	}
+}
+
+func TestPortDownDropsFramesInFlight(t *testing.T) {
+	e := NewEngine()
+	a, b := &sink{eng: e}, &sink{eng: e}
+	pa, pb := Connect(e, a, 0, b, 0, 10*time.Microsecond, 0)
+
+	pa.Send([]byte{1}) // in flight until t=10us
+	e.Schedule(5*time.Microsecond, func() { pb.SetDown(true) })
+	e.Run()
+	if len(b.frames) != 0 {
+		t.Fatalf("frame delivered into a downed port")
+	}
+	if pb.DroppedDown != 1 {
+		t.Errorf("receiver DroppedDown = %d, want 1", pb.DroppedDown)
+	}
+
+	// A down/up flap mid-flight still kills the frame that was on the wire.
+	pb.SetDown(false)
+	pa.Send([]byte{2})
+	e.Schedule(2*time.Microsecond, func() { pb.SetDown(true) })
+	e.Schedule(4*time.Microsecond, func() { pb.SetDown(false) })
+	e.Run()
+	if len(b.frames) != 0 {
+		t.Fatalf("frame survived a mid-flight flap")
+	}
+	if pb.DroppedDown != 2 {
+		t.Errorf("receiver DroppedDown = %d, want 2", pb.DroppedDown)
+	}
+
+	// The next frame after the flap is delivered normally.
+	pa.Send([]byte{3})
+	e.Run()
+	if len(b.frames) != 1 {
+		t.Fatalf("delivery did not resume after flap")
+	}
+	if pb.RxFrames != 1 {
+		t.Errorf("RxFrames = %d, want 1", pb.RxFrames)
+	}
+}
+
+func TestPartitionIsolatesBothDirections(t *testing.T) {
+	e := NewEngine()
+	a, b := &sink{eng: e}, &sink{eng: e}
+	pa, pb := Connect(e, a, 0, b, 0, time.Microsecond, 0)
+
+	// A partition downs both ends of the link.
+	pa.SetDown(true)
+	pb.SetDown(true)
+	pa.Send([]byte{1})
+	pb.Send([]byte{2})
+	e.Run()
+	if len(a.frames)+len(b.frames) != 0 {
+		t.Fatalf("frames crossed a partition")
+	}
+	// Healing restores both directions.
+	pa.SetDown(false)
+	pb.SetDown(false)
+	pa.Send([]byte{3})
+	pb.Send([]byte{4})
+	e.Run()
+	if len(a.frames) != 1 || len(b.frames) != 1 {
+		t.Fatalf("healed partition: a=%d b=%d frames, want 1/1", len(a.frames), len(b.frames))
+	}
+}
+
+func TestExtraDelayAndJitterReorder(t *testing.T) {
+	e := NewEngine()
+	a, b := &sink{eng: e}, &sink{eng: e}
+	pa, _ := Connect(e, a, 0, b, 0, time.Microsecond, 0)
+	pa.SetExtraDelay(100*time.Microsecond, 0, 1)
+	pa.Send([]byte{1})
+	e.Run()
+	if want := time.Microsecond + 100*time.Microsecond; b.times[0] != want {
+		t.Errorf("delivery at %v, want %v", b.times[0], want)
+	}
+
+	// With jitter much larger than the inter-frame gap, some adjacent pair
+	// is reordered; with a fixed seed the outcome is reproducible.
+	pa.SetExtraDelay(0, time.Millisecond, 42)
+	for i := 0; i < 32; i++ {
+		pa.Send([]byte{byte(i)})
+	}
+	e.Run()
+	if len(b.frames) != 33 {
+		t.Fatalf("delivered %d frames", len(b.frames))
+	}
+	reordered := false
+	for i := 2; i < len(b.frames); i++ {
+		if b.frames[i][0] < b.frames[i-1][0] {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Error("jitter produced no reordering")
+	}
+
+	// Disarming restores the exact base-delay behavior.
+	pa.SetExtraDelay(0, 0, 0)
+	start := e.Now()
+	pa.Send([]byte{0xFF})
+	e.Run()
+	if got := b.times[len(b.times)-1] - start; got != time.Microsecond {
+		t.Errorf("disarmed delay = %v, want 1us", got)
 	}
 }
 

@@ -15,13 +15,13 @@ func TestPrefixCountBasics(t *testing.T) {
 	}{
 		{0, 0, 0},
 		{0, 1, 1},
-		{0, 256, 1},       // aligned power of two: one prefix
-		{256, 512, 1},     // aligned
-		{0, 3, 2},         // [0,2) + [2,3)
+		{0, 256, 1},   // aligned power of two: one prefix
+		{256, 512, 1}, // aligned
+		{0, 3, 2},     // [0,2) + [2,3)
 		{1, 2, 1},
-		{1, 16, 4},        // 1,2-4,4-8,8-16
-		{5, 21, 5},        // 5-6,6-8,8-16,16-20,20-21
-		{0, 1 << 17, 1},   // whole 94K-ish space rounded up
+		{1, 16, 4},      // 1,2-4,4-8,8-16
+		{5, 21, 5},      // 5-6,6-8,8-16,16-20,20-21
+		{0, 1 << 17, 1}, // whole 94K-ish space rounded up
 	}
 	for _, c := range cases {
 		if got := PrefixCount(c.lo, c.hi); got != c.want {
@@ -290,11 +290,11 @@ func TestExecBranchSkipsUntilLabel(t *testing.T) {
 	// MBR=1 -> CJUMP taken -> the MBR_NOT in the skipped arm must not run;
 	// execution resumes at the labeled instruction.
 	prog := []isa.Instruction{
-		{Op: isa.OpMbrLoad, Operand: 0},             // MBR <- 1
-		{Op: isa.OpCJump, Operand: 1},               // jump L1
-		{Op: isa.OpMbrNot},                          // skipped
-		{Op: isa.OpMbrNot},                          // skipped
-		{Op: isa.OpMbrNot, Label: 1},                // L1: executes
+		{Op: isa.OpMbrLoad, Operand: 0}, // MBR <- 1
+		{Op: isa.OpCJump, Operand: 1},   // jump L1
+		{Op: isa.OpMbrNot},              // skipped
+		{Op: isa.OpMbrNot},              // skipped
+		{Op: isa.OpMbrNot, Label: 1},    // L1: executes
 		{Op: isa.OpReturn},
 	}
 	p := &PHV{Data: [4]uint32{1}, Instrs: prog}

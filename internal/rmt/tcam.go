@@ -3,6 +3,7 @@ package rmt
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
 // PrefixCount returns the number of ternary (prefix) entries required to
@@ -103,6 +104,27 @@ func (t *TCAM) Lookup(fid uint16, addr uint32) bool {
 func (t *TCAM) Region(fid uint16) (Region, bool) {
 	r, ok := t.regions[fid]
 	return r, ok
+}
+
+// Regions returns every installed region, sorted by FID — the control-plane
+// table-read path a restarted controller uses to rebuild allocation state.
+func (t *TCAM) Regions() []Region {
+	out := make([]Region, 0, len(t.regions))
+	for _, r := range t.regions {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FID < out[j].FID })
+	return out
+}
+
+// OwnerOf returns the FID whose region covers addr, if any.
+func (t *TCAM) OwnerOf(addr uint32) (uint16, bool) {
+	for fid, r := range t.regions {
+		if addr >= r.Lo && addr < r.Hi {
+			return fid, true
+		}
+	}
+	return 0, false
 }
 
 // Used returns the consumed prefix entries.

@@ -141,7 +141,7 @@ func (r *Runtime) installActions(d *rmt.Device) {
 				ctx.PHV.MarkRTSAtEgress()
 			}
 		},
-		isa.OpRts:  func(ctx *rmt.Ctx, in isa.Instruction) { rts(ctx) },
+		isa.OpRts: func(ctx *rmt.Ctx, in isa.Instruction) { rts(ctx) },
 		isa.OpCRts: func(ctx *rmt.Ctx, in isa.Instruction) {
 			if ctx.PHV.MBR != 0 {
 				rts(ctx)

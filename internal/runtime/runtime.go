@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 	"time"
 
 	"activermt/internal/isa"
@@ -319,4 +320,58 @@ func (r *Runtime) encodeOutput(in *packet.Active, p *rmt.PHV) *Output {
 // and the controller).
 func (r *Runtime) RegionFor(fid uint16, phys int) (rmt.Region, bool) {
 	return r.dev.Stage(phys).Prot.Region(fid)
+}
+
+// AdmittedFIDs returns every admitted FID in ascending order — the
+// control-plane census a restarted controller starts from.
+func (r *Runtime) AdmittedFIDs() []uint16 {
+	out := make([]uint16, 0, len(r.admitted))
+	for fid := range r.admitted {
+		out = append(out, fid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InstalledRegions reads fid's protected regions out of every stage's TCAM:
+// the switch-resident allocation state that survives a controller crash.
+func (r *Runtime) InstalledRegions(fid uint16) map[int]rmt.Region {
+	out := map[int]rmt.Region{}
+	for s := 0; s < r.dev.NumStages(); s++ {
+		if reg, ok := r.dev.Stage(s).Prot.Region(fid); ok {
+			out[s] = reg
+		}
+	}
+	return out
+}
+
+// Corruption is one parity-sweep hit: a word whose SRAM content no longer
+// matches its parity bit, attributed to the owning FID when the address
+// falls inside a protected region.
+type Corruption struct {
+	Stage int
+	Addr  uint32
+	FID   uint16
+	Owned bool
+}
+
+// SweepCorruption runs the parity scrub pass over every stage's register
+// array and returns the corrupted words found, in (stage, addr) order.
+func (r *Runtime) SweepCorruption() []Corruption {
+	var out []Corruption
+	for s := 0; s < r.dev.NumStages(); s++ {
+		st := r.dev.Stage(s)
+		for _, addr := range st.Registers.SweepParity(0, uint32(st.Registers.Len())) {
+			c := Corruption{Stage: s, Addr: addr}
+			c.FID, c.Owned = st.Prot.OwnerOf(addr)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ScrubWord acknowledges a corrupted word so subsequent sweeps stop
+// reporting it; the caller is responsible for quarantining the block.
+func (r *Runtime) ScrubWord(phys int, addr uint32) {
+	r.dev.Stage(phys).Registers.Scrub(addr)
 }

@@ -1,6 +1,7 @@
 package switchd
 
 import (
+	"sort"
 	"time"
 
 	"activermt/internal/alloc"
@@ -46,12 +47,23 @@ type ProvisionRecord struct {
 	Failed       bool
 	Reallocated  int
 	Release      bool
+	Readmit      bool // idempotent re-admission after a controller restart
+	Sweep        bool // corruption sweep-and-repair run
+	Escalations  int  // realloc notices re-sent during the snapshot window
+	TimedOut     bool // snapshot window ended by timeout, not completion
 }
 
 // Controller is the switch control plane: admission control and dynamic
 // memory allocation (Section 4.3). Requests are serialized; each admission
 // runs the deactivate -> snapshot -> update -> reactivate protocol for any
 // reallocated applications.
+//
+// The controller is crash-restartable: Crash drops all in-memory state
+// (queue, client directory, allocation books) and Restart rebuilds the
+// allocation state from the switch tables, which survive a control-plane
+// failure. Clients whose allocation requests are retransmitted against a
+// restarted controller are re-admitted idempotently at their installed
+// placements.
 type Controller struct {
 	eng   *netsim.Engine
 	sw    *Switch
@@ -63,20 +75,41 @@ type Controller struct {
 	busy    bool
 	queue   []queued
 
+	// alive/stalled model control-plane failure: a dead controller drops
+	// digests (and its in-flight protocol continuations die with it, keyed
+	// by life); a stalled one queues them without processing.
+	alive   bool
+	stalled bool
+	life    uint64
+
 	// snapWaiter consumes FlagSnapDone notifications during the realloc
 	// window of the admission in progress.
 	snapWaiter func(fid uint16)
+
+	// DigestFilter, when set, drops digests for which it returns true —
+	// the injection point for digest-loss fault scenarios.
+	DigestFilter func(f *packet.Frame) bool
 
 	// Records for the harness.
 	Records []ProvisionRecord
 	// Clock measures wall time of allocation computation; overridable for
 	// deterministic tests.
 	Clock func() time.Time
+
+	// Fault/recovery counters.
+	Crashes, Restarts     uint64
+	DigestsDropped        uint64
+	Readmissions          uint64
+	SnapshotEscalations   uint64
+	SnapshotTimeouts      uint64
+	Evacuations           uint64
+	QuarantinedBlockCount uint64
 }
 
 type queued struct {
-	f    *packet.Frame
-	port int
+	f     *packet.Frame
+	port  int
+	sweep bool
 }
 
 // NewController wires a controller to its switch, runtime, and allocator.
@@ -88,6 +121,7 @@ func NewController(eng *netsim.Engine, sw *Switch, al *alloc.Allocator, costs Co
 		al:      al,
 		costs:   costs,
 		clients: make(map[uint16]packet.MAC),
+		alive:   true,
 		Clock:   time.Now,
 	}
 	sw.SetController(c)
@@ -97,11 +131,90 @@ func NewController(eng *netsim.Engine, sw *Switch, al *alloc.Allocator, costs Co
 // Allocator exposes the allocation state (for experiments).
 func (c *Controller) Allocator() *alloc.Allocator { return c.al }
 
+// Alive reports whether the control plane is up.
+func (c *Controller) Alive() bool { return c.alive }
+
+// after schedules fn on the engine, cancelled implicitly if the controller
+// crashes in the meantime (a dead controller's protocol continuations must
+// not mutate the rebuilt state).
+func (c *Controller) after(d time.Duration, fn func()) {
+	life := c.life
+	c.eng.Schedule(d, func() {
+		if c.life != life || !c.alive {
+			return
+		}
+		fn()
+	})
+}
+
+// Crash kills the control plane: the admission queue, the client directory,
+// and the allocation books are lost, and every in-flight protocol
+// continuation dies. The data plane (switch tables, register state) is
+// untouched and keeps executing admitted programs.
+func (c *Controller) Crash() {
+	c.alive = false
+	c.life++
+	c.busy = false
+	c.queue = nil
+	c.snapWaiter = nil
+	c.clients = make(map[uint16]packet.MAC)
+	if fresh, err := alloc.New(c.al.Config()); err == nil {
+		c.al = fresh
+	}
+	c.Crashes++
+}
+
+// Restart brings the control plane back up and rebuilds the allocation
+// state from the switch tables: every admitted FID is re-registered at its
+// installed regions (constraints are recovered later, from the client's
+// retransmitted request — see the re-admission path in admit). FIDs left
+// deactivated by an interrupted reallocation window are reactivated; their
+// clients escape the stuck window via their own realloc timeout and
+// re-negotiate.
+func (c *Controller) Restart() {
+	if c.alive {
+		return
+	}
+	c.alive = true
+	c.Restarts++
+	bw := c.al.Config().BlockWords
+	for _, fid := range c.rt.AdmittedFIDs() {
+		regions := c.rt.InstalledRegions(fid)
+		if len(regions) > 0 {
+			blocks := make(map[int]alloc.BlockRange, len(regions))
+			for s, reg := range regions {
+				blocks[s] = alloc.BlockRange{Lo: int(reg.Lo) / bw, Hi: (int(reg.Hi) + bw - 1) / bw}
+			}
+			_ = c.al.Recover(fid, blocks)
+		}
+		if c.rt.Quarantined(fid) {
+			c.rt.Reactivate(fid)
+		}
+	}
+}
+
+// Stall suspends request processing (digests still queue); Resume drains
+// the backlog. Models a busy or wedged controller CPU.
+func (c *Controller) Stall() { c.stalled = true }
+
+// Resume ends a stall.
+func (c *Controller) Resume() {
+	c.stalled = false
+	c.pump()
+}
+
+// Stalled reports whether the controller is stalled.
+func (c *Controller) Stalled() bool { return c.stalled }
+
 // Digest delivers a control packet from the data plane after the digest
 // latency (the switch CPU path).
 func (c *Controller) Digest(f *packet.Frame, port *netsim.Port) {
+	if !c.alive || (c.DigestFilter != nil && c.DigestFilter(f)) {
+		c.DigestsDropped++
+		return
+	}
 	pnum := port.Num
-	c.eng.Schedule(c.costs.DigestLatency, func() {
+	c.after(c.costs.DigestLatency, func() {
 		h := f.Active.Header
 		if h.Type() == packet.TypeControl && h.Flags&packet.FlagSnapDone != 0 {
 			// Snapshot completions bypass the admission queue: the
@@ -119,7 +232,7 @@ func (c *Controller) Digest(f *packet.Frame, port *netsim.Port) {
 // pump serializes request processing: applications are admitted one at a
 // time (Section 4.3).
 func (c *Controller) pump() {
-	if c.busy || len(c.queue) == 0 {
+	if c.busy || c.stalled || !c.alive || len(c.queue) == 0 {
 		return
 	}
 	q := c.queue[0]
@@ -134,6 +247,10 @@ func (c *Controller) finish() {
 }
 
 func (c *Controller) dispatch(q queued) {
+	if q.sweep {
+		c.runSweep()
+		return
+	}
 	h := q.f.Active.Header
 	switch {
 	case h.Type() == packet.TypeAllocReq:
@@ -197,6 +314,13 @@ func (c *Controller) admit(fid uint16, req *packet.AllocRequest) {
 		c.finish()
 		return
 	}
+	// A FID resident in recovered form is a pre-crash tenant whose client
+	// is re-negotiating: rebuild its full allocation state from the
+	// request's constraints and the installed tables.
+	if c.al.Recovered(fid) {
+		c.readmit(fid, req, rec)
+		return
+	}
 	cons, err := alloc.FromRequest(req)
 	if err != nil {
 		rec.Failed = true
@@ -211,7 +335,7 @@ func (c *Controller) admit(fid uint16, req *packet.AllocRequest) {
 		c.rt.AdmitStateless(fid)
 		rec.TableOps = 1
 		rec.TableTime = c.costs.TableOp
-		c.eng.Schedule(c.costs.ComputeBase+rec.TableTime, func() {
+		c.after(c.costs.ComputeBase+rec.TableTime, func() {
 			resp := &packet.Active{
 				Header:    packet.ActiveHeader{FID: fid, Flags: packet.FlagFromSwch},
 				AllocResp: &packet.AllocResponse{},
@@ -234,13 +358,45 @@ func (c *Controller) admit(fid uint16, req *packet.AllocRequest) {
 		if res != nil {
 			rec.Compute += time.Duration(res.MutantsTotal) * c.costs.ComputePerMut
 		}
-		c.eng.Schedule(rec.Compute, func() { c.concludeFailed(rec) })
+		c.after(rec.Compute, func() { c.concludeFailed(rec) })
 		return
 	}
 	rec.Compute = c.costs.ComputeBase + time.Duration(res.MutantsTotal)*c.costs.ComputePerMut
 	rec.Reallocated = len(res.Reallocated)
 
-	c.eng.Schedule(rec.Compute, func() {
+	c.after(rec.Compute, func() {
+		c.reallocPhase(rec, res.New, res.Reallocated, false)
+	})
+}
+
+// readmit restores a recovered tenant's full allocation state from its
+// retransmitted request, answering with the installed placement when the
+// tables still match (and re-placing it when they don't).
+func (c *Controller) readmit(fid uint16, req *packet.AllocRequest, rec ProvisionRecord) {
+	rec.Readmit = true
+	cons, err := alloc.FromRequest(req)
+	if err != nil {
+		rec.Failed = true
+		c.concludeFailed(rec)
+		return
+	}
+	cons.Name = "fid"
+	wall := c.Clock()
+	res, err := c.al.Readmit(fid, cons)
+	rec.ComputeWall = c.Clock().Sub(wall)
+	if err != nil || res.Failed {
+		rec.Failed = true
+		rec.Compute = c.costs.ComputeBase
+		if res != nil {
+			rec.Compute += time.Duration(res.MutantsTotal) * c.costs.ComputePerMut
+		}
+		c.after(rec.Compute, func() { c.concludeFailed(rec) })
+		return
+	}
+	c.Readmissions++
+	rec.Compute = c.costs.ComputeBase + time.Duration(res.MutantsTotal)*c.costs.ComputePerMut
+	rec.Reallocated = len(res.Reallocated)
+	c.after(rec.Compute, func() {
 		c.reallocPhase(rec, res.New, res.Reallocated, false)
 	})
 }
@@ -264,14 +420,119 @@ func (c *Controller) release(fid uint16) {
 	c.reallocPhase(rec, nil, changed, true)
 }
 
+// SweepAndRepair schedules a corruption sweep over every stage's register
+// memory, serialized with admissions like any other control-plane job.
+// Corrupted blocks are quarantined in the allocator and their owners
+// re-placed through the normal reallocation protocol (deactivate ->
+// snapshot -> update -> reactivate), so applications keep whatever state
+// survives and lose only the fenced blocks.
+func (c *Controller) SweepAndRepair() {
+	if !c.alive {
+		return
+	}
+	c.queue = append(c.queue, queued{sweep: true})
+	c.pump()
+}
+
+// runSweep executes one sweep-and-repair pass (called from the queue).
+func (c *Controller) runSweep() {
+	rec := ProvisionRecord{Start: c.eng.Now(), Sweep: true}
+	reports := c.rt.SweepCorruption()
+	bw := c.al.Config().BlockWords
+
+	// One corrupted word condemns its whole block; healthy blocks between
+	// corrupted ones stay usable, so blocks are fenced individually.
+	perFID := map[uint16]map[int][]alloc.BlockRange{}
+	type sb struct{ stage, block int }
+	var unowned []sb
+	seenBlock := map[sb]bool{}
+	affected := map[uint16]bool{}
+	for _, rep := range reports {
+		c.rt.ScrubWord(rep.Stage, rep.Addr)
+		block := int(rep.Addr) / bw
+		if c.al.QuarantinedIn(rep.Stage, block) || seenBlock[sb{rep.Stage, block}] {
+			continue
+		}
+		seenBlock[sb{rep.Stage, block}] = true
+		if _, resident := c.al.App(rep.FID); rep.Owned && resident {
+			if perFID[rep.FID] == nil {
+				perFID[rep.FID] = map[int][]alloc.BlockRange{}
+			}
+			perFID[rep.FID][rep.Stage] = append(perFID[rep.FID][rep.Stage],
+				alloc.BlockRange{Lo: block, Hi: block + 1})
+		} else {
+			unowned = append(unowned, sb{rep.Stage, block})
+		}
+		c.QuarantinedBlockCount++
+	}
+	if len(perFID) == 0 && len(unowned) == 0 {
+		rec.End = c.eng.Now()
+		c.Records = append(c.Records, rec)
+		c.finish()
+		return
+	}
+
+	victims := make([]uint16, 0, len(perFID))
+	for fid := range perFID {
+		victims = append(victims, fid)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	var evicted []uint16
+	for _, fid := range victims {
+		res, err := c.al.Evacuate(fid, perFID[fid])
+		c.Evacuations++
+		if err != nil || res.Failed {
+			// Cannot re-place around the damage: evict the app entirely
+			// and tell the client, which restarts its lifecycle.
+			rec.TableOps += c.rt.RemoveGrant(fid)
+			evicted = append(evicted, fid)
+			continue
+		}
+		affected[fid] = true
+		for _, pl := range res.Reallocated {
+			affected[pl.FID] = true
+		}
+	}
+	for _, q := range unowned {
+		pls, _ := c.al.Quarantine(q.stage, alloc.BlockRange{Lo: q.block, Hi: q.block + 1})
+		for _, pl := range pls {
+			affected[pl.FID] = true
+		}
+	}
+	for _, fid := range evicted {
+		delete(affected, fid)
+		c.respondFailure(fid)
+	}
+
+	// Everyone whose regions moved goes through the reallocation protocol
+	// with their final placement.
+	fids := make([]uint16, 0, len(affected))
+	for fid := range affected {
+		fids = append(fids, fid)
+	}
+	sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+	var changed []*alloc.Placement
+	for _, fid := range fids {
+		if pl, ok := c.al.PlacementFor(fid); ok {
+			changed = append(changed, pl)
+		}
+	}
+	rec.Reallocated = len(changed)
+	c.reallocPhase(rec, nil, changed, false)
+}
+
 // reallocPhase notifies and quarantines reallocated applications, waits for
 // their snapshot completions (or the timeout), then applies table updates
-// and reactivates everyone.
+// and reactivates everyone. Halfway through the window, still-pending
+// clients get their realloc notice re-sent (the first copy crosses a lossy
+// data plane); a window that still times out is recorded as an escalation.
 func (c *Controller) reallocPhase(rec ProvisionRecord, newPl *alloc.Placement, changed []*alloc.Placement, release bool) {
 	waitStart := c.eng.Now()
 	pending := map[uint16]bool{}
+	plByFID := map[uint16]*alloc.Placement{}
 	for _, pl := range changed {
 		pending[pl.FID] = true
+		plByFID[pl.FID] = pl
 		c.rt.Deactivate(pl.FID)
 		rec.TableOps++
 		if mac, ok := c.clients[pl.FID]; ok {
@@ -301,7 +562,31 @@ func (c *Controller) reallocPhase(rec ProvisionRecord, newPl *alloc.Placement, c
 			proceed()
 		}
 	}
-	c.eng.Schedule(c.costs.SnapshotTimeout, proceed)
+	// Escalation: re-send the realloc notice to laggards at half-window.
+	c.after(c.costs.SnapshotTimeout/2, func() {
+		if done || len(pending) == 0 {
+			return
+		}
+		laggards := make([]uint16, 0, len(pending))
+		for fid := range pending {
+			laggards = append(laggards, fid)
+		}
+		sort.Slice(laggards, func(i, j int) bool { return laggards[i] < laggards[j] })
+		for _, fid := range laggards {
+			if mac, ok := c.clients[fid]; ok {
+				_ = c.sw.SendToHost(mac, c.responseFor(plByFID[fid], true))
+				rec.Escalations++
+				c.SnapshotEscalations++
+			}
+		}
+	})
+	c.after(c.costs.SnapshotTimeout, func() {
+		if !done && len(pending) > 0 {
+			rec.TimedOut = true
+			c.SnapshotTimeouts++
+		}
+		proceed()
+	})
 }
 
 // applyPhase installs the new table state and reactivates applications.
@@ -325,7 +610,7 @@ func (c *Controller) applyPhase(rec ProvisionRecord, newPl *alloc.Placement, cha
 	rec.TableOps = ops
 	rec.TableTime = time.Duration(ops) * c.costs.TableOp
 
-	c.eng.Schedule(rec.TableTime, func() {
+	c.after(rec.TableTime, func() {
 		for _, pl := range changed {
 			c.rt.Reactivate(pl.FID)
 			if mac, ok := c.clients[pl.FID]; ok {
@@ -344,6 +629,11 @@ func (c *Controller) applyPhase(rec ProvisionRecord, newPl *alloc.Placement, cha
 			rec.Failed = true
 			c.respondFailure(newPl.FID)
 		case newPl != nil:
+			// A readmitted tenant may still be deactivated from the
+			// pre-crash reallocation window; clear it before answering.
+			if c.rt.Quarantined(newPl.FID) {
+				c.rt.Reactivate(newPl.FID)
+			}
 			_ = c.sw.SendToHost(c.clients[newPl.FID], c.responseFor(newPl, false))
 		case release:
 			if mac, ok := c.clients[rec.FID]; ok {

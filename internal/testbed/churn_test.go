@@ -1,10 +1,12 @@
 package testbed
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"activermt/internal/apps"
+	"activermt/internal/chaos"
 	"activermt/internal/client"
 	"activermt/internal/workload"
 )
@@ -12,7 +14,10 @@ import (
 // TestChurnStress runs a long arrival/departure sequence through the full
 // stack — switch, controller, shim clients — and checks global invariants
 // at the end: every operational client's placement matches the switch
-// tables, no region overlaps, and the controller's books balance.
+// tables, no region overlaps, and the controller's books balance. The
+// arrival/departure schedule is orchestrated as a chaos scenario: every
+// event fires at a fixed virtual-time offset, so the whole run is one
+// deterministic replayable schedule.
 func TestChurnStress(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long full-stack churn")
@@ -21,32 +26,49 @@ func TestChurnStress(t *testing.T) {
 	seq := workload.NewSequence(99)
 	clients := map[uint16]*client.Client{}
 
+	sc := chaos.NewScenario("churn", 99)
+	at := time.Duration(0)
+	events := 0
 	for epoch := 0; epoch < 60; epoch++ {
 		for _, ev := range seq.PoissonEpoch(epoch, 2, 1) {
+			ev := ev
+			verb := "release"
 			if ev.Arrive {
-				var cl *client.Client
-				switch ev.Kind {
-				case workload.KindCache:
-					c := apps.NewCache(MACFor(200), IPFor(int(ev.FID)), IPFor(999))
-					cl = tb.AddClient(ev.FID, apps.CacheService(c))
-					c.Bind(cl)
-				case workload.KindHeavyHitter:
-					h := apps.NewHeavyHitter(10)
-					cl = tb.AddClient(ev.FID, apps.HeavyHitterService(h))
-					h.Bind(cl)
-				default:
-					cl = tb.AddClient(ev.FID, apps.CheetahSelectService())
-				}
-				clients[ev.FID] = cl
-				_ = cl.RequestAllocation()
-			} else if cl, ok := clients[ev.FID]; ok {
-				_ = cl.Release()
-				delete(clients, ev.FID)
+				verb = "arrive"
 			}
-			tb.RunFor(3 * time.Second) // let the serialized controller settle
+			sc.At(at, fmt.Sprintf("%s:fid%d", verb, ev.FID), func(*chaos.System) {
+				if ev.Arrive {
+					var cl *client.Client
+					switch ev.Kind {
+					case workload.KindCache:
+						c := apps.NewCache(MACFor(200), IPFor(int(ev.FID)), IPFor(999))
+						cl = tb.AddClient(ev.FID, apps.CacheService(c))
+						c.Bind(cl)
+					case workload.KindHeavyHitter:
+						h := apps.NewHeavyHitter(10)
+						cl = tb.AddClient(ev.FID, apps.HeavyHitterService(h))
+						h.Bind(cl)
+					default:
+						cl = tb.AddClient(ev.FID, apps.CheetahSelectService())
+					}
+					clients[ev.FID] = cl
+					_ = cl.RequestAllocation()
+				} else if cl, ok := clients[ev.FID]; ok {
+					_ = cl.Release()
+					delete(clients, ev.FID)
+				}
+			})
+			at += 3 * time.Second // let the serialized controller settle
+			events++
 		}
 	}
-	tb.RunFor(10 * time.Second)
+	if err := sc.Install(tb.System()); err != nil {
+		t.Fatal(err)
+	}
+	tb.RunFor(at + 10*time.Second)
+	if got := len(sc.Trace()); got != events {
+		t.Fatalf("scenario fired %d/%d events", got, events)
+	}
 
 	operational, failed := 0, 0
 	type region struct {

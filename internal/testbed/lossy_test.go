@@ -5,11 +5,13 @@ import (
 	"time"
 
 	"activermt/internal/apps"
+	"activermt/internal/chaos"
 )
 
 // Lossy-network tests: the paper's reliability story is idempotence plus
 // client retransmission (Section 4.3); these tests run the protocol over
-// links that drop frames.
+// links that drop frames. Loss is injected through the chaos layer, which
+// arms both directions of a link from one seed.
 
 func TestAllocationSurvivesLoss(t *testing.T) {
 	tb := newBed(t)
@@ -19,8 +21,7 @@ func TestAllocationSurvivesLoss(t *testing.T) {
 	cl.RetryAfter = 50 * time.Millisecond
 
 	// 30% loss in both directions on the client's link.
-	cl.Port().SetLoss(0.3, 7)
-	cl.Port().Peer().SetLoss(0.3, 8)
+	chaos.LinkLoss{Link: cl.Port(), Rate: 0.3, Seed: 7}.Apply(tb.System())
 
 	if err := cl.RequestAllocation(); err != nil {
 		t.Fatal(err)
@@ -48,8 +49,7 @@ func TestMemSyncRetransmitsUnderLoss(t *testing.T) {
 
 	// Lose 40% of frames from here on; reads and writes are idempotent, so
 	// the driver's retransmission converges.
-	cl.Port().SetLoss(0.4, 21)
-	cl.Port().Peer().SetLoss(0.4, 22)
+	chaos.LinkLoss{Link: cl.Port(), Rate: 0.4, Seed: 21}.Apply(tb.System())
 
 	done := 0
 	for i := uint32(0); i < 32; i++ {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"activermt/internal/alloc"
+	"activermt/internal/chaos"
 	"activermt/internal/client"
 	"activermt/internal/netsim"
 	"activermt/internal/packet"
@@ -108,6 +109,13 @@ func (tb *Testbed) AddClient(fid uint16, svc *client.Service) *client.Client {
 	_, p := tb.Attach(cl, mac)
 	cl.Attach(p)
 	return cl
+}
+
+// System exposes the assembled components to the chaos fault-injection
+// layer: scenarios built against this system act on the testbed's engine,
+// switch, controller, and runtime.
+func (tb *Testbed) System() *chaos.System {
+	return &chaos.System{Eng: tb.Eng, Switch: tb.Switch, Ctrl: tb.Ctrl, RT: tb.RT}
 }
 
 // SnapshotFn exposes the controller-side register read API for apps that
