@@ -39,16 +39,17 @@ func main() {
 	scenario := flag.String("scenario", "cache", "cache | multi | lb | churn")
 	seed := flag.Int64("seed", 1, "workload seed")
 	chaosName := flag.String("chaos", "", "fault scenario for -scenario cache: "+strings.Join(chaos.Names(), " | "))
+	adversary := flag.Bool("adversary", false, "co-schedule an adversarial tenant attacking the cache")
 	flag.Parse()
 
-	if *chaosName != "" && *scenario != "cache" {
-		fmt.Fprintln(os.Stderr, "activesim: -chaos only applies to -scenario cache")
+	if (*chaosName != "" || *adversary) && *scenario != "cache" {
+		fmt.Fprintln(os.Stderr, "activesim: -chaos and -adversary only apply to -scenario cache")
 		os.Exit(2)
 	}
 	var err error
 	switch *scenario {
 	case "cache":
-		err = runCache(*seed, *chaosName)
+		err = runCache(*seed, *chaosName, *adversary)
 	case "multi":
 		err = runFromExperiment("fig9b", *seed)
 	case "churn":
@@ -81,7 +82,7 @@ func runFromExperiment(id string, seed int64) error {
 	return nil
 }
 
-func runCache(seed int64, chaosName string) error {
+func runCache(seed int64, chaosName string, adversary bool) error {
 	tb, err := testbed.New(testbed.DefaultConfig())
 	if err != nil {
 		return err
@@ -143,7 +144,43 @@ func runCache(seed int64, chaosName string) error {
 		fmt.Printf("[%8.3fs] chaos scenario %q armed (seed %d)\n", tb.Eng.Now().Seconds(), sc.Name, seed)
 	}
 
+	// The adversary co-schedules a second tenant that completes a normal
+	// admission, then turns on the victim: the attack arc launches between
+	// measurement windows 1 and 2, so the printed delta compares clean
+	// windows against under-attack windows at the same seed.
+	const attackerFID = 66
+	var attCl *client.Client
+	var advSc *chaos.Scenario
+	if adversary {
+		_, _, attIP := tb.NewHostID()
+		attCache := apps.NewCache(srv.MAC(), attIP, testbed.IPFor(999))
+		attCl = tb.AddClient(attackerFID, apps.CacheService(attCache))
+		attCache.Bind(attCl)
+		if err := attCl.RequestAllocation(); err != nil {
+			return err
+		}
+		if err := tb.WaitOperational(attCl, 10*time.Second); err != nil {
+			return err
+		}
+		fmt.Printf("[%8.3fs] attacker tenant fid %d admitted (epoch %d)\n",
+			tb.Eng.Now().Seconds(), attackerFID, attCl.Epoch())
+	}
+
+	rates := make([]float64, 0, 5)
 	for window := 0; window < 5; window++ {
+		if adversary && window == 2 {
+			_, advMAC, _ := tb.NewHostID()
+			adv := chaos.NewAdversary(tb.Eng, advMAC, tb.Switch.MAC())
+			_, ap := tb.Attach(adv, advMAC)
+			adv.Attach(ap)
+			adv.Arm(attackerFID, attCl.Epoch())
+			advSc = chaos.AdversarialTenant(adv, 1, seed)
+			if err := advSc.Install(tb.System()); err != nil {
+				return err
+			}
+			fmt.Printf("[%8.3fs] adversary armed with fid %d credentials; attack scenario installed\n",
+				tb.Eng.Now().Seconds(), attackerFID)
+		}
 		cache.ResetStats()
 		for i := 0; i < 5000; i++ {
 			k := keys[z.Next()]
@@ -151,8 +188,35 @@ func runCache(seed int64, chaosName string) error {
 			tb.RunFor(50 * time.Microsecond)
 		}
 		tb.RunFor(5 * time.Millisecond)
+		rates = append(rates, cache.HitRate())
 		fmt.Printf("[%8.3fs] window %d: hit rate %.3f (%d hits, %d misses, server saw %d)\n",
 			tb.Eng.Now().Seconds(), window, cache.HitRate(), cache.Hits, cache.Misses, srv.Requests)
+	}
+	if advSc != nil {
+		tb.RunFor(2 * time.Second) // eviction + reallocation settle
+		clean := (rates[0] + rates[1]) / 2
+		attacked := (rates[2] + rates[3] + rates[4]) / 3
+		fmt.Printf("[%8.3fs] adversary outcome:\n", tb.Eng.Now().Seconds())
+		fmt.Printf("    victim hit rate: clean %.3f, under attack %.3f, delta %+.3f\n",
+			clean, attacked, attacked-clean)
+		fmt.Printf("    guard: checked=%d dropped=%d tenant-violations=%d port-violations=%d\n",
+			tb.Guard.Checked, tb.Guard.DroppedAtIngress, tb.Guard.TenantViolations, tb.Guard.PortViolations)
+		fmt.Printf("    controller: quarantines=%d evictions=%d\n",
+			tb.Ctrl.GuardQuarantines, tb.Ctrl.GuardEvictions)
+		if led := tb.Guard.Tenant(attackerFID); led != nil {
+			fmt.Printf("    attacker ledger (fid %d, state %v, %d violations):\n",
+				attackerFID, led.State(), led.Total())
+			for _, tr := range led.History {
+				fmt.Printf("      %s\n", tr)
+			}
+		}
+		fmt.Printf("    attacker client: state=%v evictions=%d\n", attCl.State(), attCl.Evictions)
+		fmt.Printf("    victim client: state=%v (ledger clean: %v)\n",
+			cl.State(), tb.Guard.Tenant(1) == nil || tb.Guard.Tenant(1).Total() == 0)
+		fmt.Printf("    chaos trace:\n")
+		for _, e := range advSc.Trace() {
+			fmt.Printf("      %s\n", e)
+		}
 	}
 	if sc != nil {
 		tb.RunFor(2 * time.Second) // let the fault schedule and recovery settle

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"time"
 
+	"activermt/internal/guard"
 	"activermt/internal/netsim"
 	"activermt/internal/runtime"
 	"activermt/internal/switchd"
@@ -27,6 +28,7 @@ type System struct {
 	Switch *switchd.Switch
 	Ctrl   *switchd.Controller
 	RT     *runtime.Runtime
+	Guard  *guard.Guard // nil when the capsule guard is disabled
 }
 
 // Injector is one composable fault: Apply arms it, Revert disarms it.

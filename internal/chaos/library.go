@@ -88,6 +88,31 @@ func ControllerOutage(crashAt, downFor time.Duration, seed int64) *Scenario {
 	return s
 }
 
+// AdversarialTenant drives a full attack arc from one adversary endpoint
+// against a victim tenant: a spray of malformed and truncated capsules, an
+// epoch-guessing forgery burst under the victim's FID, an over-budget
+// recirculation bomb, and finally an authenticated out-of-bounds write sweep
+// across the victim's granted regions. The unauthenticated phases must land
+// on the ingress-port ledger (the victim stays Healthy); the authenticated
+// phases must walk the adversary's own ledger up the escalation ladder to
+// quarantine and eviction. The adversary must be Armed with its granted FID
+// and epoch before the authenticated phases fire.
+func AdversarialTenant(adv *Adversary, victimFID uint16, seed int64) *Scenario {
+	s := NewScenario("adversarial-tenant", seed)
+	// Phase 1: protocol garbage, attributed to the port.
+	s.Apply(20*time.Millisecond, AdversaryBurst{Adv: adv, Kind: "malformed", N: 6, Gap: 2 * time.Millisecond, Seed: seed + 1})
+	s.Apply(40*time.Millisecond, AdversaryBurst{Adv: adv, Kind: "truncated", N: 6, Gap: 2 * time.Millisecond, Seed: seed + 2})
+	// Phase 2: identity forgery against the victim.
+	s.Apply(60*time.Millisecond, AdversaryBurst{Adv: adv, Kind: "forged", N: 10, Gap: 2 * time.Millisecond, VictimFID: victimFID, Seed: seed + 3})
+	// Phase 3: authenticated resource abuse.
+	s.Apply(90*time.Millisecond, AdversaryBurst{Adv: adv, Kind: "recirc", N: 6, Gap: 2 * time.Millisecond, Seed: seed + 4})
+	// Phase 4: authenticated memory scan of the victim's regions. Long
+	// enough to walk the default ladder end to end: the faults quarantine
+	// the attacker, and its continued traffic escalates to eviction.
+	s.Apply(120*time.Millisecond, AdversaryBurst{Adv: adv, Kind: "oob", N: 120, Gap: 1 * time.Millisecond, VictimFID: victimFID, Seed: seed + 5})
+	return s
+}
+
 // CorruptedMemory flips bits in one stage's register SRAM at corruptAt —
 // preferentially inside installed application regions — and runs the
 // controller's sweep-and-repair pass at sweepAt. The sweep scrubs the

@@ -70,6 +70,10 @@ type Service struct {
 	OnReallocate func(c *Client, oldPl, newPl *alloc.Placement, done func())
 	// OnFailed fires when an allocation request is rejected.
 	OnFailed func(c *Client)
+	// OnEvicted fires when the switch guard evicts the tenant for isolation
+	// violations; the client is back in Idle with no placement. When nil,
+	// OnFailed is used as the fallback notification.
+	OnEvicted func(c *Client)
 }
 
 // Constraints derives the service's allocation constraints from its main
@@ -155,10 +159,20 @@ type Client struct {
 	// controller answers retransmitted requests idempotently. Zero disables
 	// the escape.
 	ReallocTimeout time.Duration
+	// ReadmitAfter, when nonzero, schedules a fresh allocation request that
+	// long after an eviction notice — the re-admission penalty box.
+	ReadmitAfter time.Duration
 
 	state     State
 	placement *alloc.Placement
 	progs     map[string]*isa.Program // synthesized per current placement
+
+	// grantEpoch is the switch-issued epoch of the current grant, echoed on
+	// every program capsule so the guard can authenticate the FID claim.
+	// pendingEpoch holds the epoch a reallocation notice announced; it
+	// applies when the reactivation notice confirms the tables switched.
+	grantEpoch   uint8
+	pendingEpoch uint8
 
 	// Handler receives every non-protocol frame addressed to this host
 	// (RTS replies, forwarded traffic). Optional.
@@ -169,9 +183,11 @@ type Client struct {
 	Reallocations, Retries          uint64
 	// PhaseRetries counts retries within the current negotiation phase
 	// (reset by each RequestAllocation call); ReallocTimeouts counts
-	// escapes from stuck memory-management windows.
+	// escapes from stuck memory-management windows; Evictions counts guard
+	// eviction notices received.
 	PhaseRetries    uint64
 	ReallocTimeouts uint64
+	Evictions       uint64
 
 	reqEpoch uint64
 	mmEpoch  uint64
@@ -230,6 +246,10 @@ func (c *Client) Service() *Service { return c.svc }
 
 // Program returns the synthesized template by name (nil before admission).
 func (c *Client) Program(name string) *isa.Program { return c.progs[name] }
+
+// Epoch returns the grant epoch the client currently stamps on capsules
+// (0 before first admission).
+func (c *Client) Epoch() uint8 { return c.grantEpoch }
 
 // RequestAllocation sends the allocation request derived from the service's
 // constraints, retrying while unanswered if RetryAfter is set.
@@ -328,7 +348,9 @@ func (c *Client) SendProgram(name string, args [4]uint32, extraFlags uint16, pay
 		return c.SendPlain(payload, dst)
 	}
 	a := &packet.Active{
-		Header:  packet.ActiveHeader{FID: c.fid, Flags: extraFlags},
+		// The opaque field echoes the grant epoch: the switch guard drops
+		// program capsules whose echo does not match the installed grant.
+		Header:  packet.ActiveHeader{FID: c.fid, Flags: extraFlags, Opaque: uint32(c.grantEpoch)},
 		Args:    args,
 		Program: c.progs[name],
 		Payload: payload,
@@ -383,7 +405,12 @@ func (c *Client) Receive(frame []byte, port *netsim.Port) {
 	case h.Type() == packet.TypeAllocResp:
 		c.applyAllocation(f.Active.AllocResp)
 	case h.Type() == packet.TypeControl && h.Flags&packet.FlagRealloc != 0 && h.Flags&packet.FlagDone != 0:
-		// Reactivation notice: reallocation applied, resume.
+		// Reactivation notice: reallocation applied, resume. The epoch the
+		// realloc notice announced is live now that the tables switched.
+		if c.pendingEpoch != 0 {
+			c.grantEpoch = c.pendingEpoch
+			c.pendingEpoch = 0
+		}
 		c.state = Operational
 		if c.svc.OnOperational != nil {
 			c.svc.OnOperational(c)
@@ -392,6 +419,28 @@ func (c *Client) Receive(frame []byte, port *netsim.Port) {
 		c.state = Idle
 		c.placement = nil
 		c.progs = map[string]*isa.Program{}
+		c.grantEpoch, c.pendingEpoch = 0, 0
+	case h.Type() == packet.TypeControl && h.Flags&packet.FlagEvicted != 0:
+		// Guard eviction: the allocation is gone; restart from Idle (after
+		// the optional penalty interval).
+		c.Evictions++
+		c.state = Idle
+		c.placement = nil
+		c.progs = map[string]*isa.Program{}
+		c.grantEpoch, c.pendingEpoch = 0, 0
+		switch {
+		case c.svc.OnEvicted != nil:
+			c.svc.OnEvicted(c)
+		case c.svc.OnFailed != nil:
+			c.svc.OnFailed(c)
+		}
+		if c.ReadmitAfter > 0 {
+			c.eng.Schedule(c.ReadmitAfter, func() {
+				if c.state == Idle {
+					_ = c.RequestAllocation()
+				}
+			})
+		}
 	default:
 		c.deliver(f)
 	}
@@ -414,7 +463,7 @@ func (c *Client) placementFromResponse(resp *packet.AllocResponse) (*alloc.Place
 	// Stages with non-empty grants, ascending, are the access stages of
 	// the selected mutant's physical projection; logical stages come from
 	// re-enumerating the shared order.
-	pl := &alloc.Placement{FID: c.fid, MutantIdx: int(resp.MutantIndex &^ PolicyBitLC)}
+	pl := &alloc.Placement{FID: c.fid, MutantIdx: int(resp.MutantIndex & packet.MutantIndexMask)}
 	if len(cons.Accesses) == 0 {
 		return pl, nil // stateless service: nothing granted, nothing to map
 	}
@@ -444,8 +493,10 @@ func (c *Client) mutantByIndex(cons *alloc.Constraints, idx int) (alloc.Mutant, 
 	pol := alloc.MostConstrained
 	if uint32(idx)&PolicyBitLC != 0 {
 		pol = alloc.LeastConstrained
-		idx = int(uint32(idx) &^ PolicyBitLC)
 	}
+	// Strip the policy bit and the grant-epoch bits: only the low bits name
+	// the mutant in the shared enumeration order.
+	idx = int(uint32(idx) & packet.MutantIndexMask)
 	b, err := alloc.ComputeBounds(cons, pol, c.Pipeline.NumStages, c.Pipeline.NumIngress, c.Pipeline.MaxPasses)
 	if err != nil {
 		return nil, err
@@ -474,6 +525,8 @@ func (c *Client) applyAllocation(resp *packet.AllocResponse) {
 		return
 	}
 	c.placement = pl
+	c.grantEpoch = packet.EpochOf(resp.MutantIndex)
+	c.pendingEpoch = 0
 	c.state = Operational
 	if c.svc.OnOperational != nil {
 		c.svc.OnOperational(c)
@@ -484,6 +537,10 @@ func (c *Client) beginRealloc(resp *packet.AllocResponse) {
 	c.Reallocations++
 	c.state = MemMgmt
 	c.mmEpoch++
+	// The notice precedes the table update: keep stamping the old epoch
+	// (FlagMemSync extraction runs against the old grant) and switch when
+	// the reactivation notice arrives.
+	c.pendingEpoch = packet.EpochOf(resp.MutantIndex)
 	if c.ReallocTimeout > 0 {
 		epoch := c.mmEpoch
 		c.eng.Schedule(c.ReallocTimeout, func() {

@@ -1,0 +1,330 @@
+// Package guard is the capsule-validation and isolation-enforcement layer:
+// the runtime-programmable analogue of Menshen-style per-tenant enforcement,
+// defending the shared pipeline against misbehaving tenants rather than
+// failing networks (which internal/chaos covers).
+//
+// The guard sits at three points:
+//
+//   - ingress (CheckProgram, called by the switch before execution):
+//     structural validation, grant-epoch authentication of the claimed FID,
+//     instruction-budget capping, and escalation-state gating;
+//   - the execute path (runtime.GuardHook, called by the runtime): every
+//     protection fault and recirculation throttle lands in the offender's
+//     ledger;
+//   - the control plane (Escalator, implemented by switchd.Controller):
+//     quarantine and eviction decisions flow back through the normal
+//     deactivation and reallocation machinery.
+//
+// Escalation is deterministic and hysteretic: violations accumulate in a
+// per-tenant decaying window, and a tenant climbs warn -> rate-limit ->
+// quarantine -> evict only as the window fills. One stray packet never
+// evicts; an idle window heals the warn and rate-limit rungs.
+package guard
+
+import (
+	"sort"
+	"time"
+
+	"activermt/internal/packet"
+	"activermt/internal/runtime"
+)
+
+// Policy fixes the guard's thresholds. Counts are violations inside Window;
+// the ladder requires WarnAt <= RateLimitAt <= QuarantineAt <= EvictAt.
+type Policy struct {
+	// Window is the decay horizon for violation events.
+	Window time.Duration
+	// Escalation thresholds: reaching each score moves the tenant to the
+	// corresponding rung.
+	WarnAt       int
+	RateLimitAt  int
+	QuarantineAt int
+	EvictAt      int
+	// RateLimitPass admits one in every RateLimitPass packets from a
+	// rate-limited tenant (minimum 1: admit all).
+	RateLimitPass int
+	// RequireEpoch enables grant-epoch authentication: program capsules
+	// from admitted FIDs must echo the epoch of the current grant.
+	RequireEpoch bool
+	// MaxProgramLen caps capsule instruction count; 0 derives the cap from
+	// the device's recirculation ceiling (MaxPasses * NumStages).
+	MaxProgramLen int
+}
+
+// DefaultPolicy returns thresholds tuned for the simulated testbed: a burst
+// of a handful of faults warns, sustained abuse quarantines within tens of
+// packets, and eviction needs roughly twice that again.
+func DefaultPolicy() Policy {
+	return Policy{
+		Window:        500 * time.Millisecond,
+		WarnAt:        3,
+		RateLimitAt:   8,
+		QuarantineAt:  16,
+		EvictAt:       32,
+		RateLimitPass: 4,
+		RequireEpoch:  true,
+	}
+}
+
+// stateFor maps a window score to the highest rung it reaches.
+func (p Policy) stateFor(score int) TenantState {
+	switch {
+	case score >= p.EvictAt:
+		return Evicted
+	case score >= p.QuarantineAt:
+		return Quarantined
+	case score >= p.RateLimitAt:
+		return RateLimited
+	case score >= p.WarnAt:
+		return Warned
+	}
+	return Healthy
+}
+
+// Escalator receives the guard's control-plane decisions. The controller
+// implements it: quarantine maps to runtime deactivation, eviction to a
+// release through the normal reallocation path plus a client notice.
+type Escalator interface {
+	GuardQuarantine(fid uint16)
+	GuardEvict(fid uint16)
+}
+
+// Guard holds the ledgers and enforces Policy. Like the rest of the switch
+// it is single-threaded under the simulation engine.
+type Guard struct {
+	rt  *runtime.Runtime
+	pol Policy
+	now func() time.Duration
+	esc Escalator
+
+	tenants map[uint16]*Ledger
+	ports   map[int]*PortLedger
+
+	// Counters for operators and tests.
+	Checked          uint64 // capsules inspected at ingress
+	DroppedAtIngress uint64 // capsules refused by CheckProgram
+	TenantViolations uint64 // authenticated violations (all tenants)
+	PortViolations   uint64 // unauthenticated violations (all ports)
+	RevokedDrops     uint64 // execute-path drops of revoked FIDs
+	AuditsRun        uint64
+	FindingsTotal    uint64
+}
+
+// New builds a guard over the runtime. now is the virtual-clock source; it
+// must be the same clock the escalator's controller runs on.
+func New(rt *runtime.Runtime, pol Policy, now func() time.Duration) *Guard {
+	if pol.RateLimitPass < 1 {
+		pol.RateLimitPass = 1
+	}
+	return &Guard{
+		rt:      rt,
+		pol:     pol,
+		now:     now,
+		tenants: make(map[uint16]*Ledger),
+		ports:   make(map[int]*PortLedger),
+	}
+}
+
+// Policy returns the active policy.
+func (g *Guard) Policy() Policy { return g.pol }
+
+// SetEscalator installs the control-plane sink for quarantine/evict
+// decisions (nil: record-only mode).
+func (g *Guard) SetEscalator(e Escalator) { g.esc = e }
+
+// Tenant returns fid's ledger, or nil if the guard has never recorded
+// anything for it.
+func (g *Guard) Tenant(fid uint16) *Ledger { return g.tenants[fid] }
+
+// Tenants returns every tenant ledger in FID order.
+func (g *Guard) Tenants() []*Ledger {
+	out := make([]*Ledger, 0, len(g.tenants))
+	for _, l := range g.tenants {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FID < out[j].FID })
+	return out
+}
+
+// Port returns the ingress port's violation ledger, or nil.
+func (g *Guard) Port(port int) *PortLedger { return g.ports[port] }
+
+// maxProgramLen resolves the instruction budget.
+func (g *Guard) maxProgramLen() int {
+	if g.pol.MaxProgramLen > 0 {
+		return g.pol.MaxProgramLen
+	}
+	cfg := g.rt.Device().Config()
+	return cfg.MaxPasses * cfg.NumStages
+}
+
+// CheckProgram is the ingress gate: the switch calls it for every decoded
+// program capsule before execution and drops the frame when it returns
+// false. port is the ingress port, the attribution target for capsules that
+// fail authentication.
+func (g *Guard) CheckProgram(a *packet.Active, port int) bool {
+	if a == nil || a.Header.Type() != packet.TypeProgram {
+		return true
+	}
+	g.Checked++
+	fid := a.Header.FID
+
+	// Structural sanity. Decoding already rejected truncated capsules;
+	// this rejects programs whose shape cannot execute (bad labels,
+	// branches to nowhere).
+	if a.Program == nil {
+		return g.denyPort(port, KindMalformed)
+	}
+	if err := a.Program.Validate(); err != nil {
+		return g.denyPort(port, KindMalformed)
+	}
+
+	// Identity. Revoked and evicted FIDs have no pipeline access at all;
+	// never-admitted FIDs pass through unexecuted exactly as a table miss
+	// would, so they are not the guard's concern.
+	if g.rt.Revoked(fid) {
+		return g.denyPort(port, KindRevoked)
+	}
+	led := g.tenants[fid]
+	if led != nil && led.state == Evicted {
+		return g.denyPort(port, KindRevoked)
+	}
+	if !g.rt.Admitted(fid) {
+		return true
+	}
+	if g.pol.RequireEpoch {
+		if echo := uint8(a.Header.Opaque) & packet.EpochMax; echo != g.rt.Epoch(fid) {
+			return g.denyPort(port, KindBadEpoch)
+		}
+	}
+
+	// The capsule authenticated: from here violations are the tenant's.
+	if a.Program.Len() > g.maxProgramLen() {
+		return g.denyTenant(fid, KindOverBudget)
+	}
+	if led != nil {
+		now := g.now()
+		led.prune(now, g.pol.Window)
+		if len(led.events) == 0 && (led.state == Warned || led.state == RateLimited) {
+			// The window drained: the warn/rate-limit rungs heal.
+			g.transition(led, Healthy, KindRecovered, 0, now)
+		}
+		switch led.state {
+		case Quarantined:
+			// Still sending while quarantined pushes toward eviction.
+			return g.denyTenant(fid, KindQuarTraffic)
+		case RateLimited:
+			led.rlSeq++
+			if g.pol.RateLimitPass > 1 && led.rlSeq%uint64(g.pol.RateLimitPass) != 0 {
+				g.DroppedAtIngress++
+				return false // shed, but not itself a violation
+			}
+		}
+	}
+	return true
+}
+
+// Reinstate resets fid's ledger after the controller granted it a fresh
+// allocation: re-admission starts a clean escalation history (the violation
+// counts and transitions survive for the record).
+func (g *Guard) Reinstate(fid uint16) {
+	led, ok := g.tenants[fid]
+	if !ok || led.state == Healthy {
+		return
+	}
+	g.transition(led, Healthy, KindReadmitted, led.Score(), g.now())
+	led.events = led.events[:0]
+	led.rlSeq = 0
+}
+
+// MemFault implements runtime.GuardHook: a protection fault by an admitted
+// (authenticated at ingress) tenant.
+func (g *Guard) MemFault(fid uint16, stage int, addr uint32, owner uint16, owned bool) {
+	_ = stage
+	_ = addr
+	_ = owner
+	_ = owned
+	g.recordTenant(fid, KindMemFault)
+}
+
+// RecircThrottled implements runtime.GuardHook.
+func (g *Guard) RecircThrottled(fid uint16) {
+	g.recordTenant(fid, KindRecircThrottled)
+}
+
+// RevokedDrop implements runtime.GuardHook: counted only, since the ingress
+// gate already charges revoked traffic to its port when the guard is wired
+// into the switch.
+func (g *Guard) RevokedDrop(fid uint16) {
+	g.RevokedDrops++
+	if led, ok := g.tenants[fid]; ok {
+		led.counts[int(KindRevoked)]++
+	}
+}
+
+// denyPort records an unauthenticated violation against the ingress port and
+// refuses the capsule.
+func (g *Guard) denyPort(port int, k Kind) bool {
+	pl, ok := g.ports[port]
+	if !ok {
+		pl = &PortLedger{Port: port}
+		g.ports[port] = pl
+	}
+	pl.counts[int(k)]++
+	pl.Total++
+	g.PortViolations++
+	g.DroppedAtIngress++
+	return false
+}
+
+// denyTenant records an authenticated violation and refuses the capsule.
+func (g *Guard) denyTenant(fid uint16, k Kind) bool {
+	g.recordTenant(fid, k)
+	g.DroppedAtIngress++
+	return false
+}
+
+// tenant returns (creating if needed) fid's ledger.
+func (g *Guard) tenant(fid uint16) *Ledger {
+	led, ok := g.tenants[fid]
+	if !ok {
+		led = &Ledger{FID: fid}
+		g.tenants[fid] = led
+	}
+	return led
+}
+
+// recordTenant appends one authenticated violation to fid's window and
+// escalates if a threshold is crossed. Escalation is monotone within one
+// admission: the ladder only climbs, so a burst that reaches quarantine
+// cannot talk itself back down without the controller reinstating the
+// tenant.
+func (g *Guard) recordTenant(fid uint16, k Kind) {
+	led := g.tenant(fid)
+	led.counts[int(k)]++
+	led.total++
+	g.TenantViolations++
+	now := g.now()
+	led.prune(now, g.pol.Window)
+	led.events = append(led.events, now)
+	if target := g.pol.stateFor(len(led.events)); target > led.state {
+		g.transition(led, target, k, len(led.events), now)
+	}
+}
+
+// transition moves a ledger between states, records history, and fires the
+// escalator on the quarantine and evict rungs.
+func (g *Guard) transition(led *Ledger, to TenantState, k Kind, score int, now time.Duration) {
+	led.History = append(led.History, Transition{At: now, From: led.state, To: to, Trigger: k, Score: score})
+	led.state = to
+	switch to {
+	case Quarantined:
+		if g.esc != nil {
+			g.esc.GuardQuarantine(led.FID)
+		}
+	case Evicted:
+		if g.esc != nil {
+			g.esc.GuardEvict(led.FID)
+		}
+	}
+}

@@ -29,10 +29,27 @@ func FuzzAssemble(f *testing.F) {
 	})
 }
 
-// FuzzDecodeProgram covers the bytecode decoder.
+// FuzzDecodeProgram covers the bytecode decoder with the adversarial
+// corpus the capsule guard must survive: truncated streams, missing EOF
+// terminators, invalid opcodes, and saturated operand/label bits. The
+// contract is no panic anywhere — including Validate on whatever decodes —
+// consumption bounded by the input, and encode/decode as a fixed point.
 func FuzzDecodeProgram(f *testing.F) {
 	p := MustAssemble("seed", "NOP\nRETURN")
-	f.Add(p.Encode(nil))
+	wire := p.Encode(nil)
+	f.Add(wire)
+	for cut := 0; cut <= len(wire); cut++ {
+		f.Add(wire[:cut]) // every truncation, including mid-instruction
+	}
+	f.Add([]byte{0xFF, 0xFF})                    // invalid opcode
+	f.Add([]byte{byte(OpUJump), 0x05})           // branch to nowhere, no EOF
+	f.Add([]byte{byte(OpMarLoad), 0xFF})         // saturated flag byte
+	f.Add([]byte{byte(OpEOF), 0x00, 0xAA, 0xBB}) // trailing bytes after EOF
+	long := make([]byte, 0, 2*300)
+	for i := 0; i < 300; i++ { // far beyond any instruction budget
+		long = append(long, byte(OpNop), 0)
+	}
+	f.Add(append(long, byte(OpEOF), 0))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		q, n, err := DecodeProgram(b)
 		if err != nil {
@@ -41,6 +58,21 @@ func FuzzDecodeProgram(f *testing.F) {
 		if n > len(b) {
 			t.Fatalf("consumed %d of %d bytes", n, len(b))
 		}
-		_ = q.Encode(nil)
+		_ = q.Validate() // must not panic on any decodable program
+		if q.Len() != (n-WireSize)/WireSize {
+			t.Fatalf("decoded %d instrs from %d bytes", q.Len(), n)
+		}
+		again, m, err := DecodeProgram(q.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-encoded program failed to decode: %v", err)
+		}
+		if m != n || again.Len() != q.Len() {
+			t.Fatalf("round trip changed size: %d/%d -> %d/%d", n, q.Len(), m, again.Len())
+		}
+		for i := range q.Instrs {
+			if again.Instrs[i] != q.Instrs[i] {
+				t.Fatalf("instr %d changed: %v -> %v", i, q.Instrs[i], again.Instrs[i])
+			}
+		}
 	})
 }

@@ -46,14 +46,14 @@ func (t PacketType) String() string {
 
 // Flag bits of the initial active header.
 const (
-	FlagDone      uint16 = 1 << 2 // program marked complete by the switch
-	FlagFromSwch  uint16 = 1 << 3 // packet originated at the switch
-	FlagFailed    uint16 = 1 << 4 // allocation failed / execution fault
-	FlagSnapDone  uint16 = 1 << 5 // client finished state extraction
-	FlagNoShrink  uint16 = 1 << 6 // do not strip executed instruction headers
-	FlagRealloc   uint16 = 1 << 7 // response describes a reallocation
-	FlagRelease   uint16 = 1 << 8 // client releases its allocation
-	FlagRTS       uint16 = 1 << 9 // packet was returned to sender
+	FlagDone     uint16 = 1 << 2 // program marked complete by the switch
+	FlagFromSwch uint16 = 1 << 3 // packet originated at the switch
+	FlagFailed   uint16 = 1 << 4 // allocation failed / execution fault
+	FlagSnapDone uint16 = 1 << 5 // client finished state extraction
+	FlagNoShrink uint16 = 1 << 6 // do not strip executed instruction headers
+	FlagRealloc  uint16 = 1 << 7 // response describes a reallocation
+	FlagRelease  uint16 = 1 << 8 // client releases its allocation
+	FlagRTS      uint16 = 1 << 9 // packet was returned to sender
 	// FlagPreload asks the parser to preload MAR from data[2] and MBR from
 	// data[0] before execution — the compiler optimization of Appendix C
 	// that makes first-stage memory addressable without a MAR_LOAD.
@@ -62,9 +62,40 @@ const (
 	// executes even while its FID is deactivated for reallocation, so the
 	// client can read the consistent snapshot the switch guarantees.
 	FlagMemSync uint16 = 1 << 11
+	// FlagEvicted marks the control notice the switch sends when the guard
+	// evicts a tenant for repeated isolation violations; the client must
+	// drop its placement and renegotiate from Idle.
+	FlagEvicted uint16 = 1 << 12
 
 	typeMask uint16 = 0x3
 )
+
+// Grant-epoch encoding. Every successful grant installation bumps a per-FID
+// 7-bit epoch on the switch; allocation responses carry it in the high bits
+// of the mutant index, and program packets echo it back in the initial
+// header's opaque field. The guard uses the echo to authenticate that a
+// capsule's claimed FID really holds the *current* grant — a stale or forged
+// epoch cannot address memory reallocated to another tenant.
+const (
+	// EpochShift positions the epoch above the mutant index proper.
+	EpochShift = 24
+	// EpochMax is the largest epoch value (7 bits; epochs count 1..127 and
+	// wrap back to 1, so 0 always means "no epoch issued").
+	EpochMax uint8 = 1<<7 - 1
+	// MutantIndexMask isolates the mutant index from a response's opaque
+	// field, stripping the epoch bits and PolicyBitLC.
+	MutantIndexMask uint32 = 1<<EpochShift - 1
+)
+
+// PackEpoch merges a grant epoch into a mutant-index word.
+func PackEpoch(mutantIndex uint32, epoch uint8) uint32 {
+	return mutantIndex&^(uint32(EpochMax)<<EpochShift) | uint32(epoch&EpochMax)<<EpochShift
+}
+
+// EpochOf extracts the grant epoch from a mutant-index word.
+func EpochOf(mutantIndex uint32) uint8 {
+	return uint8(mutantIndex>>EpochShift) & EpochMax
+}
 
 // Magic identifies active packets; it doubles as the layer-2 tag the paper
 // describes ("a special VLAN tag").

@@ -1,6 +1,11 @@
 package packet
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"activermt/internal/isa"
+)
 
 // FuzzDecode drives the active-packet parser with arbitrary bytes; the
 // invariant is no panic and, for successfully decoded program packets, a
@@ -20,6 +25,80 @@ func FuzzDecode(f *testing.F) {
 		if got.Header.Type() == TypeProgram {
 			if _, err := got.Encode(nil); err != nil {
 				t.Fatalf("decoded packet failed to re-encode: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzParseActive is the capsule-guard hardening target: it seeds the
+// corpus with well-formed capsules of every packet type plus adversarial
+// shapes (truncations at every header boundary, garbage instruction
+// streams, oversized argument regions) and checks the full parse contract:
+// no panic, no read past the input, and decode(encode(decode(b))) is a
+// fixed point for program capsules.
+func FuzzParseActive(f *testing.F) {
+	// One well-formed capsule per type.
+	prog := &Active{
+		Header:  ActiveHeader{FID: 7, Opaque: 0x01000000},
+		Args:    [NumDataFields]uint32{1, 2, 3, 4},
+		Program: &isa.Program{Instrs: []isa.Instruction{{Op: isa.OpMarLoad, Operand: 2}, {Op: isa.OpMemWrite}}},
+	}
+	prog.Header.SetType(TypeProgram)
+	progWire, _ := prog.Encode(nil)
+	f.Add(progWire)
+
+	req := &Active{Header: ActiveHeader{FID: 7}, AllocReq: &AllocRequest{
+		ProgLen: 11, IngressIdx: 2, Elastic: true,
+		Accesses: []AccessReq{{Index: 1, Demand: 0, AlignGroup: 1}, {Index: 4, Demand: 2}},
+	}}
+	req.Header.SetType(TypeAllocReq)
+	reqWire, _ := req.Encode(nil)
+	f.Add(reqWire)
+
+	resp := &Active{Header: ActiveHeader{FID: 7}, AllocResp: &AllocResponse{MutantIndex: PackEpoch(5, 3)}}
+	resp.Header.SetType(TypeAllocResp)
+	resp.AllocResp.Grants[1] = StageGrant{Start: 128, End: 256}
+	respWire, _ := resp.Encode(nil)
+	f.Add(respWire)
+
+	ctl := &Active{Header: ActiveHeader{FID: 7, Flags: FlagFromSwch | FlagEvicted}}
+	ctl.Header.SetType(TypeControl)
+	ctlWire, _ := ctl.Encode(nil)
+	f.Add(ctlWire)
+
+	// Adversarial shapes: every truncation of a program capsule, garbage
+	// after the arg header, an instruction stream with no EOF.
+	for cut := 0; cut < len(progWire); cut += 3 {
+		f.Add(progWire[:cut])
+	}
+	f.Add(append(progWire[:InitialHeaderSize+ArgHeaderSize], 0xFF, 0xFF, 0xFF, 0xFF))
+	f.Add(append([]byte(nil), progWire[:len(progWire)-2]...)) // EOF stripped
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		a, err := Decode(b)
+		if err != nil {
+			return
+		}
+		wire, err := a.Encode(nil)
+		if err != nil {
+			t.Fatalf("decoded capsule failed to re-encode: %v", err)
+		}
+		if len(wire) > len(b) {
+			t.Fatalf("re-encode grew %d -> %d bytes", len(b), len(wire))
+		}
+		back, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("re-encoded capsule failed to decode: %v", err)
+		}
+		if back.Header != a.Header && a.Header.Type() == TypeProgram {
+			t.Fatalf("program header changed: %+v -> %+v", a.Header, back.Header)
+		}
+		if a.Header.Type() == TypeProgram {
+			// The guard validates what the parser accepts; neither may
+			// panic on the other's output.
+			_ = a.Program.Validate()
+			if !bytes.Equal(a.Program.Encode(nil), back.Program.Encode(nil)) {
+				t.Fatal("program bytes not a round-trip fixed point")
 			}
 		}
 	})

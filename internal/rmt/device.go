@@ -50,6 +50,17 @@ func (s *Stage) TranslateFor(fid uint16) (Translate, bool) {
 	return t, ok
 }
 
+// TranslateEntries returns a copy of this stage's translation table keyed by
+// FID. The isolation auditor walks it to prove every translate window stays
+// inside a region its owner actually holds.
+func (s *Stage) TranslateEntries() map[uint16]Translate {
+	out := make(map[uint16]Translate, len(s.xlate))
+	for f, t := range s.xlate {
+		out[f] = t
+	}
+	return out
+}
+
 // Action implements one instruction. Actions are installed by the runtime
 // package (the P4-program analogue); the device only sequences them.
 type Action func(ctx *Ctx, in isa.Instruction)

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"sync/atomic"
 	"time"
 
 	"activermt/internal/isa"
@@ -47,9 +48,13 @@ func (r *Runtime) EnableRecircLimiter(p RecircPolicy, now func() time.Duration) 
 	r.recirc = make(map[uint16]*recircState)
 }
 
-// recircAllowed charges the extra passes a program will consume and reports
-// whether the packet may enter the pipeline.
-func (r *Runtime) recircAllowed(fid uint16, progLen int) bool {
+// RecircAllowed charges the extra passes a program will consume and reports
+// whether the packet may enter the pipeline. Unlike the rest of the runtime
+// (which the single-threaded simulation engine serializes), the limiter is
+// safe to call from concurrent goroutines: bucket state is mutex-guarded
+// and the throttle counter is updated atomically, modeling the per-pipe
+// hardware meters that are consulted without control-plane coordination.
+func (r *Runtime) RecircAllowed(fid uint16, progLen int) bool {
 	if r.recirc == nil {
 		return true
 	}
@@ -59,16 +64,19 @@ func (r *Runtime) recircAllowed(fid uint16, progLen int) bool {
 		return true
 	}
 	now := r.recircNow()
+	r.recircMu.Lock()
 	st, ok := r.recirc[fid]
 	if !ok || now-st.windowStart >= r.recircPolicy.Window {
 		st = &recircState{tokens: r.recircPolicy.Budget, windowStart: now}
 		r.recirc[fid] = st
 	}
 	if st.tokens < extra {
-		r.RecircThrottled++
+		r.recircMu.Unlock()
+		atomic.AddUint64(&r.RecircThrottled, 1)
 		return false
 	}
 	st.tokens -= extra
+	r.recircMu.Unlock()
 	return true
 }
 

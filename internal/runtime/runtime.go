@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 	"time"
 
 	"activermt/internal/isa"
@@ -40,10 +41,22 @@ type Runtime struct {
 
 	admitted    map[uint16]*grantRecord
 	quarantined map[uint16]bool
+	// epochs is the per-FID grant epoch: bumped on every grant install so
+	// capsules stamped against an older grant are detectably stale. Entries
+	// survive RemoveGrant so a re-admitted FID continues the sequence
+	// rather than reissuing epochs an attacker may have observed.
+	epochs map[uint16]uint8
+	// revoked marks FIDs whose grant was removed: their packets hard-drop
+	// instead of passing through, so revoked tenants cannot keep using the
+	// pipeline as a (stateless) forwarding service.
+	revoked map[uint16]bool
+
+	guard GuardHook
 
 	// Section 7 extensions (see extensions.go).
 	recircPolicy RecircPolicy
 	recircNow    func() time.Duration
+	recircMu     sync.Mutex
 	recirc       map[uint16]*recircState
 	privilege    map[uint16]uint8
 	mirror       map[uint32]uint32
@@ -51,8 +64,28 @@ type Runtime struct {
 	// Stats for the experiment harness.
 	ProgramsRun, Passthrough, Faults uint64
 	RecircThrottled, PrivSuppressed  uint64
+	QuarantineDrops, RevokedDrops    uint64
 	TableOps                         uint64 // cumulative table update operations
 }
+
+// GuardHook receives data-plane isolation events as they happen. The runtime
+// deliberately depends only on this narrow interface (internal/guard
+// implements it) so the execute path stays free of policy.
+type GuardHook interface {
+	// MemFault reports a protection fault: fid touched addr in the given
+	// physical stage; owner/owned identify the tenant whose installed
+	// region contains addr, when there is one.
+	MemFault(fid uint16, stage int, addr uint32, owner uint16, owned bool)
+	// RecircThrottled reports a packet dropped by the recirculation
+	// fairness controller.
+	RecircThrottled(fid uint16)
+	// RevokedDrop reports a packet dropped because its FID's grant was
+	// revoked.
+	RevokedDrop(fid uint16)
+}
+
+// SetGuardHook installs the isolation-event sink (nil disables reporting).
+func (r *Runtime) SetGuardHook(h GuardHook) { r.guard = h }
 
 // New builds a device from cfg and installs the interpreter in it.
 func New(cfg rmt.Config) (*Runtime, error) {
@@ -64,6 +97,8 @@ func New(cfg rmt.Config) (*Runtime, error) {
 		dev:         dev,
 		admitted:    make(map[uint16]*grantRecord),
 		quarantined: make(map[uint16]bool),
+		epochs:      make(map[uint16]uint8),
+		revoked:     make(map[uint16]bool),
 	}
 	r.installActions(dev)
 	return r, nil
@@ -80,6 +115,34 @@ func (r *Runtime) Admitted(fid uint16) bool {
 
 // Quarantined reports whether fid's packets are currently deactivated.
 func (r *Runtime) Quarantined(fid uint16) bool { return r.quarantined[fid] }
+
+// Revoked reports whether fid once held a grant that has been removed (and
+// has not been re-admitted since).
+func (r *Runtime) Revoked(fid uint16) bool { return r.revoked[fid] }
+
+// Epoch returns fid's current grant epoch (0: no grant ever installed).
+// Allocation responses carry it to the client, program capsules echo it
+// back, and the guard drops capsules whose echo is stale.
+func (r *Runtime) Epoch(fid uint16) uint8 { return r.epochs[fid] }
+
+// NextEpoch returns the epoch the next grant installation will assign —
+// what the controller stamps into reallocation notices sent before the
+// install lands.
+func (r *Runtime) NextEpoch(fid uint16) uint8 { return nextEpoch(r.epochs[fid]) }
+
+// nextEpoch advances a 7-bit epoch, skipping 0 so "no epoch" stays
+// unambiguous.
+func nextEpoch(e uint8) uint8 {
+	if e >= packet.EpochMax {
+		return 1
+	}
+	return e + 1
+}
+
+func (r *Runtime) bumpEpoch(fid uint16) {
+	r.epochs[fid] = nextEpoch(r.epochs[fid])
+	delete(r.revoked, fid)
+}
 
 // Deactivate suspends execution of fid's programs during a reallocation so
 // clients observe a consistent memory snapshot (Section 4.3). Packets still
@@ -143,6 +206,7 @@ func (r *Runtime) InstallGrant(g Grant) (int, error) {
 		prevLogical = a.Logical
 	}
 	r.admitted[g.FID] = rec
+	r.bumpEpoch(g.FID)
 	r.TableOps += uint64(ops) + 1 // +1 for the admission gate entry
 	return ops + 1, nil
 }
@@ -165,6 +229,7 @@ func translateFor(a AccessGrant) rmt.Translate {
 func (r *Runtime) AdmitStateless(fid uint16) {
 	if _, ok := r.admitted[fid]; !ok {
 		r.admitted[fid] = &grantRecord{}
+		r.bumpEpoch(fid)
 		r.TableOps++
 	}
 }
@@ -179,6 +244,7 @@ func (r *Runtime) RemoveGrant(fid uint16) int {
 	ops := r.removeRecord(fid, rec) + 1 // +1 for the admission gate entry
 	delete(r.admitted, fid)
 	delete(r.quarantined, fid)
+	r.revoked[fid] = true
 	r.TableOps += uint64(ops)
 	return ops
 }
@@ -224,24 +290,39 @@ type Output struct {
 
 // ExecuteProgram runs a decoded program packet through the pipeline and
 // returns the resulting output packets (primary first, then FORK clones).
-// Programs whose FID is not admitted — or is quarantined during a
-// reallocation — pass through unexecuted, exactly as a table miss would
-// behave on the real switch.
+// Programs whose FID was never admitted pass through unexecuted, exactly as
+// a table miss would behave on the real switch. Programs whose FID was
+// revoked — or is quarantined during a reallocation (FlagMemSync excepted) —
+// hard-drop: a tenant stripped of its grant must not retain pipeline access,
+// and a deactivated tenant's packets must not leak around the snapshot.
 func (r *Runtime) ExecuteProgram(a *packet.Active) []*Output {
 	if a.Program == nil {
 		return []*Output{{Active: a, Latency: r.dev.Config().PassLatency}}
 	}
+	fid := a.Header.FID
 	memsync := a.Header.Flags&packet.FlagMemSync != 0
-	if !r.Admitted(a.Header.FID) || (r.Quarantined(a.Header.FID) && !memsync) {
+	if r.revoked[fid] {
+		r.RevokedDrops++
+		if r.guard != nil {
+			r.guard.RevokedDrop(fid)
+		}
+		return []*Output{r.hardDrop(a)}
+	}
+	if !r.Admitted(fid) {
 		r.Passthrough++
 		return []*Output{{Active: a, Latency: r.dev.Config().PassLatency}}
 	}
-	if !r.recircAllowed(a.Header.FID, a.Program.Len()) {
+	if r.Quarantined(fid) && !memsync {
+		r.QuarantineDrops++
+		return []*Output{r.hardDrop(a)}
+	}
+	if !r.RecircAllowed(fid, a.Program.Len()) {
 		// The recirculation fairness controller polices bandwidth
 		// inflation (Section 7.2): over-budget programs are dropped.
-		out := &Output{Active: a, Dropped: true, Latency: r.dev.Config().PassLatency}
-		out.Active.Header.Flags |= packet.FlagFailed
-		return []*Output{out}
+		if r.guard != nil {
+			r.guard.RecircThrottled(fid)
+		}
+		return []*Output{r.hardDrop(a)}
 	}
 	r.ProgramsRun++
 
@@ -265,10 +346,21 @@ func (r *Runtime) ExecuteProgram(a *packet.Active) []*Output {
 	for _, p := range outs {
 		if p.Faulted {
 			r.Faults++
+			if r.guard != nil {
+				r.guard.MemFault(fid, p.FaultStage, p.FaultAddr, p.FaultOwner, p.FaultOwned)
+			}
 		}
 		results = append(results, r.encodeOutput(a, p))
 	}
 	return results
+}
+
+// hardDrop builds the dropped-with-FlagFailed output for packets refused
+// before execution (revoked, quarantined, or recirc-throttled FIDs).
+func (r *Runtime) hardDrop(a *packet.Active) *Output {
+	out := &Output{Active: a, Dropped: true, Latency: r.dev.Config().PassLatency}
+	out.Active.Header.Flags |= packet.FlagFailed
+	return out
 }
 
 // encodeOutput rebuilds an active packet from a post-execution PHV,

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"activermt/internal/alloc"
+	"activermt/internal/guard"
 	"activermt/internal/netsim"
 	"activermt/internal/packet"
 	"activermt/internal/runtime"
@@ -49,6 +50,7 @@ type ProvisionRecord struct {
 	Release      bool
 	Readmit      bool // idempotent re-admission after a controller restart
 	Sweep        bool // corruption sweep-and-repair run
+	Evict        bool // guard-driven eviction of a violating tenant
 	Escalations  int  // realloc notices re-sent during the snapshot window
 	TimedOut     bool // snapshot window ended by timeout, not completion
 }
@@ -96,6 +98,10 @@ type Controller struct {
 	// deterministic tests.
 	Clock func() time.Time
 
+	// guard, when attached, receives Reinstate calls as tenants are granted
+	// fresh allocations; the controller is its Escalator.
+	guard *guard.Guard
+
 	// Fault/recovery counters.
 	Crashes, Restarts     uint64
 	DigestsDropped        uint64
@@ -104,12 +110,16 @@ type Controller struct {
 	SnapshotTimeouts      uint64
 	Evacuations           uint64
 	QuarantinedBlockCount uint64
+	GuardQuarantines      uint64
+	GuardEvictions        uint64
 }
 
 type queued struct {
 	f     *packet.Frame
 	port  int
 	sweep bool
+	evict uint16 // FID to evict (guard escalation)
+	doEv  bool
 }
 
 // NewController wires a controller to its switch, runtime, and allocator.
@@ -130,6 +140,39 @@ func NewController(eng *netsim.Engine, sw *Switch, al *alloc.Allocator, costs Co
 
 // Allocator exposes the allocation state (for experiments).
 func (c *Controller) Allocator() *alloc.Allocator { return c.al }
+
+// AttachGuard wires the capsule guard to the control plane: the controller
+// becomes the guard's escalator (quarantine and evict decisions land here)
+// and reinstates ledgers when it grants fresh allocations.
+func (c *Controller) AttachGuard(g *guard.Guard) {
+	c.guard = g
+	g.SetEscalator(c)
+}
+
+// GuardQuarantine implements guard.Escalator: deactivate the tenant so its
+// packets stop executing. The table write is immediate — quarantine is the
+// fast path; a queued quarantine would let the attacker keep faulting behind
+// an in-progress admission.
+func (c *Controller) GuardQuarantine(fid uint16) {
+	if !c.alive {
+		return
+	}
+	c.rt.Deactivate(fid)
+	c.GuardQuarantines++
+}
+
+// GuardEvict implements guard.Escalator: tear the tenant down through the
+// normal release/reallocation machinery. Eviction reshuffles neighbors, so
+// it is serialized with admissions like every other allocation job. Until
+// the job runs, the guard's ingress gate already refuses the tenant's
+// traffic.
+func (c *Controller) GuardEvict(fid uint16) {
+	if !c.alive {
+		return
+	}
+	c.queue = append(c.queue, queued{evict: fid, doEv: true})
+	c.pump()
+}
 
 // Alive reports whether the control plane is up.
 func (c *Controller) Alive() bool { return c.alive }
@@ -251,6 +294,10 @@ func (c *Controller) dispatch(q queued) {
 		c.runSweep()
 		return
 	}
+	if q.doEv {
+		c.runEviction(q.evict)
+		return
+	}
 	h := q.f.Active.Header
 	switch {
 	case h.Type() == packet.TypeAllocReq:
@@ -273,10 +320,41 @@ func (c *Controller) respondFailure(fid uint16) {
 	_ = c.sw.SendToHost(c.clients[fid], resp)
 }
 
+// runEviction tears down a tenant the guard escalated to eviction: release
+// its allocation (expanding elastic neighbors through the normal
+// reallocation protocol), strip its tables, and send the client an eviction
+// notice so it restarts its lifecycle from Idle.
+func (c *Controller) runEviction(fid uint16) {
+	rec := ProvisionRecord{FID: fid, Start: c.eng.Now(), Evict: true}
+	changed, err := c.al.Release(fid)
+	if err != nil {
+		changed = nil // stateless or unknown to the books: nothing to expand
+	}
+	rec.TableOps += c.rt.RemoveGrant(fid)
+	c.GuardEvictions++
+	if mac, ok := c.clients[fid]; ok {
+		notice := &packet.Active{Header: packet.ActiveHeader{
+			FID:   fid,
+			Flags: packet.FlagFromSwch | packet.FlagFailed | packet.FlagEvicted,
+		}}
+		notice.Header.SetType(packet.TypeControl)
+		_ = c.sw.SendToHost(mac, notice)
+	}
+	rec.Reallocated = len(changed)
+	c.reallocPhase(rec, nil, changed, false)
+}
+
 // responseFor converts a placement into the wire response. The mutant index
-// carries the policy bit so the client re-enumerates the same order.
+// carries the policy bit so the client re-enumerates the same order, and the
+// grant epoch the client must echo on its capsules. Reallocation notices go
+// out before the table update lands, so they carry the epoch the pending
+// install will assign.
 func (c *Controller) responseFor(pl *alloc.Placement, realloc bool) *packet.Active {
-	resp := &packet.AllocResponse{MutantIndex: uint32(pl.MutantIdx)}
+	epoch := c.rt.Epoch(pl.FID)
+	if realloc {
+		epoch = c.rt.NextEpoch(pl.FID)
+	}
+	resp := &packet.AllocResponse{MutantIndex: packet.PackEpoch(uint32(pl.MutantIdx), epoch)}
 	if c.al.Config().Policy == alloc.LeastConstrained {
 		resp.MutantIndex |= packet.PolicyBitLC
 	}
@@ -333,12 +411,15 @@ func (c *Controller) admit(fid uint16, req *packet.AllocRequest) {
 	// the FID and answer immediately.
 	if len(cons.Accesses) == 0 {
 		c.rt.AdmitStateless(fid)
+		if c.guard != nil {
+			c.guard.Reinstate(fid)
+		}
 		rec.TableOps = 1
 		rec.TableTime = c.costs.TableOp
 		c.after(c.costs.ComputeBase+rec.TableTime, func() {
 			resp := &packet.Active{
 				Header:    packet.ActiveHeader{FID: fid, Flags: packet.FlagFromSwch},
-				AllocResp: &packet.AllocResponse{},
+				AllocResp: &packet.AllocResponse{MutantIndex: packet.PackEpoch(0, c.rt.Epoch(fid))},
 			}
 			resp.Header.SetType(packet.TypeAllocResp)
 			_ = c.sw.SendToHost(c.clients[fid], resp)
@@ -633,6 +714,11 @@ func (c *Controller) applyPhase(rec ProvisionRecord, newPl *alloc.Placement, cha
 			// pre-crash reallocation window; clear it before answering.
 			if c.rt.Quarantined(newPl.FID) {
 				c.rt.Reactivate(newPl.FID)
+			}
+			// A fresh grant wipes any guard history: re-admission after an
+			// eviction starts a clean escalation ladder.
+			if c.guard != nil {
+				c.guard.Reinstate(newPl.FID)
 			}
 			_ = c.sw.SendToHost(c.clients[newPl.FID], c.responseFor(newPl, false))
 		case release:

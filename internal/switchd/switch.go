@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"activermt/internal/guard"
 	"activermt/internal/netsim"
 	"activermt/internal/packet"
 	"activermt/internal/runtime"
@@ -17,17 +18,18 @@ import (
 
 // Switch is the netsim endpoint for the ActiveRMT switch data plane.
 type Switch struct {
-	eng  *netsim.Engine
-	rt   *runtime.Runtime
-	ctrl *Controller
+	eng   *netsim.Engine
+	rt    *runtime.Runtime
+	ctrl  *Controller
+	guard *guard.Guard
 
-	mac    packet.MAC
-	ports  map[int]*netsim.Port
-	hosts  map[packet.MAC]int // L2 table: MAC -> port
+	mac   packet.MAC
+	ports map[int]*netsim.Port
+	hosts map[packet.MAC]int // L2 table: MAC -> port
 
 	// Counters.
 	FramesIn, FramesForwarded, FramesReturned, FramesDropped uint64
-	UnknownMAC                                               uint64
+	UnknownMAC, GuardDropped                                 uint64
 }
 
 // NewSwitch builds a switch around a runtime. Attach the controller with
@@ -44,6 +46,12 @@ func NewSwitch(eng *netsim.Engine, rt *runtime.Runtime, mac packet.MAC) *Switch 
 
 // SetController attaches the control plane.
 func (s *Switch) SetController(c *Controller) { s.ctrl = c }
+
+// SetGuard installs the ingress capsule guard (nil disables it).
+func (s *Switch) SetGuard(g *guard.Guard) { s.guard = g }
+
+// Guard returns the installed guard, if any.
+func (s *Switch) Guard() *guard.Guard { return s.guard }
 
 // Runtime exposes the data-plane runtime.
 func (s *Switch) Runtime() *runtime.Runtime { return s.rt }
@@ -93,6 +101,11 @@ func (s *Switch) Receive(frame []byte, port *netsim.Port) {
 }
 
 func (s *Switch) execute(f *packet.Frame, in *netsim.Port) {
+	if s.guard != nil && !s.guard.CheckProgram(f.Active, in.Num) {
+		s.FramesDropped++
+		s.GuardDropped++
+		return
+	}
 	outs := s.rt.ExecuteProgram(f.Active)
 	for _, out := range outs {
 		if out.Dropped {

@@ -1,0 +1,346 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"activermt/internal/apps"
+	"activermt/internal/chaos"
+	"activermt/internal/client"
+	"activermt/internal/guard"
+)
+
+// victimWorkload populates the cache with 16 hot objects out of 64 and
+// queries all 64, returning the hit rate. Fully deterministic: same testbed
+// state, same rate.
+func victimWorkload(t *testing.T, tb *Testbed, srv *apps.KVServer, cache *apps.Cache) float64 {
+	t.Helper()
+	var hot []apps.KVMsg
+	for i := 0; i < 64; i++ {
+		k0, k1, v := uint32(0xA000+i), uint32(0xB000+i), uint32(0xC000+i)
+		srv.Store[apps.KeyOf(k0, k1)] = v
+		if i < 16 {
+			hot = append(hot, apps.KVMsg{Key0: k0, Key1: k1, Value: v})
+		}
+	}
+	cache.SetHotObjects(hot)
+	cache.Populate()
+	tb.RunFor(10 * time.Millisecond)
+
+	cache.ResetStats()
+	for i := 0; i < 64; i++ {
+		cache.Get(uint32(0xA000+i), uint32(0xB000+i))
+		tb.RunFor(time.Millisecond)
+	}
+	tb.RunFor(20 * time.Millisecond)
+	return cache.HitRate()
+}
+
+// snapshotVictim reads every word of the victim's installed regions.
+func snapshotVictim(t *testing.T, tb *Testbed, fid uint16) map[int][]uint32 {
+	t.Helper()
+	out := map[int][]uint32{}
+	for stage := range tb.RT.InstalledRegions(fid) {
+		words, _, err := tb.RT.Snapshot(fid, stage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[stage] = words
+	}
+	return out
+}
+
+// setupVictim builds a testbed with a KV server and one operational cache
+// tenant (the victim, FID 1).
+func setupVictim(t *testing.T) (*Testbed, *apps.KVServer, *apps.Cache, *client.Client) {
+	t.Helper()
+	tb := newBed(t)
+	srv := apps.NewKVServer(tb.Eng, MACFor(200), IPFor(999))
+	_, sp := tb.Attach(srv, srv.MAC())
+	srv.Attach(sp)
+	cache, cl := addCache(t, tb, 1, srv, [4]byte{})
+	if err := cl.RequestAllocation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitOperational(cl, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return tb, srv, cache, cl
+}
+
+// TestAdversaryQuarantinedThenEvicted is the acceptance test for the
+// adversarial-tenant hardening: a legitimately admitted attacker that scans
+// the victim's memory walks the escalation ladder to quarantine and then
+// eviction, writes zero victim words along the way, and the victim's hit
+// rate matches the attacker-free baseline at the same seed.
+func TestAdversaryQuarantinedThenEvicted(t *testing.T) {
+	// Attacker-free baseline.
+	tbBase, srvBase, cacheBase, _ := setupVictim(t)
+	_ = tbBase
+	baseRate := victimWorkload(t, tbBase, srvBase, cacheBase)
+	if baseRate <= 0 {
+		t.Fatalf("baseline hit rate = %v", baseRate)
+	}
+
+	// Attack run at the same seed: victim plus an admitted attacker tenant.
+	tb, srv, cache, victimCl := setupVictim(t)
+	attCache, attCl := addCache(t, tb, 2, srv, [4]byte{})
+	_ = attCache
+	attCl.ReadmitAfter = 0 // stay evicted; re-admission tested separately
+	evictedNotices := 0
+	attSvc := attCl.Service()
+	attSvc.OnEvicted = func(c *client.Client) { evictedNotices++ }
+	if err := attCl.RequestAllocation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitOperational(attCl, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if victimCl.State() != client.Operational {
+		if err := tb.WaitOperational(victimCl, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The attacker goes rogue: its protocol shim's credentials feed a raw
+	// adversary endpoint on a separate port.
+	_, advMAC, _ := tb.NewHostID()
+	adv := chaos.NewAdversary(tb.Eng, advMAC, tb.Switch.MAC())
+	_, ap := tb.Attach(adv, advMAC)
+	adv.Attach(ap)
+	adv.Arm(2, attCl.Epoch())
+
+	// Phase 0: unauthenticated garbage — malformed capsules and epoch
+	// forgeries under the VICTIM's identity. All of it must be charged to
+	// the adversary's ingress port; the victim's ledger must stay clean.
+	for i := 0; i < 5; i++ {
+		adv.SendMalformed()
+		adv.SendForged(1, uint8(100+i)) // epochs far from the victim's
+		adv.SendTruncated()
+		tb.RunFor(time.Millisecond)
+	}
+	if led := tb.Guard.Tenant(1); led != nil && led.Total() != 0 {
+		t.Fatalf("victim ledger charged by forgery: %d violations", led.Total())
+	}
+	if tb.Guard.PortViolations == 0 {
+		t.Fatal("unauthenticated violations did not land on the port ledger")
+	}
+
+	// The victim serves its workload while the attack continues underneath.
+	rate := victimWorkload(t, tb, srv, cache)
+	pre := snapshotVictim(t, tb, 1)
+
+	// Phase 1: authenticated out-of-bounds scan of the victim's regions
+	// until the guard quarantines the attacker.
+	type probe struct {
+		stage int
+		addr  uint32
+	}
+	var probes []probe
+	for stage, reg := range tb.RT.InstalledRegions(1) {
+		for w := reg.Lo; w < reg.Hi; w += 7 {
+			probes = append(probes, probe{stage, w})
+		}
+	}
+	if len(probes) == 0 {
+		t.Fatal("victim has no installed regions to probe")
+	}
+	start := tb.Eng.Now()
+	i := 0
+	for tb.Guard.Tenant(2) == nil || tb.Guard.Tenant(2).State() < guard.Quarantined {
+		if i > 400 {
+			t.Fatalf("attacker not quarantined after %d probes (state %v)", i, tb.Guard.Tenant(2).State())
+		}
+		p := probes[i%len(probes)]
+		adv.SendOOBWrite(p.stage, p.addr, 0xBADBAD)
+		tb.RunFor(time.Millisecond)
+		i++
+	}
+	quarantineDelay := tb.Eng.Now() - start
+	if quarantineDelay > tb.Guard.Policy().Window {
+		t.Errorf("quarantine took %v, beyond the %v escalation window", quarantineDelay, tb.Guard.Policy().Window)
+	}
+	if tb.Ctrl.GuardQuarantines != 1 {
+		t.Errorf("controller quarantines = %d, want 1", tb.Ctrl.GuardQuarantines)
+	}
+	if !tb.RT.Quarantined(2) {
+		t.Error("attacker FID not deactivated in the runtime")
+	}
+
+	// Zero victim words written: the attacker is still resident (eviction
+	// has not reallocated anyone), so the regions are directly comparable.
+	post := snapshotVictim(t, tb, 1)
+	for stage, before := range pre {
+		after, ok := post[stage]
+		if !ok || len(after) != len(before) {
+			t.Fatalf("victim region moved during quarantine phase (stage %d)", stage)
+		}
+		for w := range before {
+			if before[w] != after[w] {
+				t.Fatalf("attacker wrote victim word: stage %d off %d %#x -> %#x", stage, w, before[w], after[w])
+			}
+		}
+	}
+	if tb.RT.Faults == 0 {
+		t.Error("no protection faults recorded for the scan")
+	}
+
+	// Phase 2: the attacker keeps sending through quarantine; the guard
+	// escalates to eviction and the controller reclaims the grant.
+	for j := 0; tb.Guard.Tenant(2).State() < guard.Evicted; j++ {
+		if j > 100 {
+			t.Fatalf("attacker not evicted (state %v)", tb.Guard.Tenant(2).State())
+		}
+		p := probes[j%len(probes)]
+		adv.SendOOBWrite(p.stage, p.addr, 0xBADBAD)
+		tb.RunFor(time.Millisecond)
+	}
+	tb.RunFor(3 * time.Second) // eviction + neighbor reallocation settle
+
+	if tb.Ctrl.GuardEvictions != 1 {
+		t.Errorf("controller evictions = %d, want 1", tb.Ctrl.GuardEvictions)
+	}
+	if tb.RT.Admitted(2) {
+		t.Error("evicted attacker still admitted")
+	}
+	if tb.Ctrl.Allocator().NumApps() != 1 {
+		t.Errorf("resident apps = %d, want 1 (victim only)", tb.Ctrl.Allocator().NumApps())
+	}
+	if attCl.Evictions != 1 || evictedNotices != 1 {
+		t.Errorf("attacker client: Evictions=%d notices=%d, want 1/1", attCl.Evictions, evictedNotices)
+	}
+	if attCl.State() != client.Idle {
+		t.Errorf("attacker client state = %v, want Idle", attCl.State())
+	}
+	// The ledger walked the full arc; the history is the audit record.
+	hist := tb.Guard.Tenant(2).History
+	sawQ, sawE := false, false
+	for _, tr := range hist {
+		if tr.To == guard.Quarantined {
+			sawQ = true
+		}
+		if tr.To == guard.Evicted {
+			sawE = true
+		}
+	}
+	if !sawQ || !sawE {
+		t.Errorf("history missing quarantine/evict transitions: %v", hist)
+	}
+
+	// The victim rode through: same hit rate as the attacker-free baseline.
+	if math.Abs(rate-baseRate) > 0.05*baseRate {
+		t.Errorf("victim hit rate %v vs baseline %v (>5%% delta)", rate, baseRate)
+	}
+	if victimCl.State() != client.Operational {
+		t.Errorf("victim state = %v after attack", victimCl.State())
+	}
+	// And its data integrity survives eviction-driven reallocation: the
+	// cache re-populates and the hot set still hits.
+	cache.ResetStats()
+	for i := 0; i < 16; i++ {
+		cache.Get(uint32(0xA000+i), uint32(0xB000+i))
+		tb.RunFor(time.Millisecond)
+	}
+	tb.RunFor(20 * time.Millisecond)
+	if cache.HitRate() < 0.5 {
+		t.Errorf("post-eviction hot-set hit rate = %v", cache.HitRate())
+	}
+
+	// No isolation invariant was violated anywhere in the pipeline.
+	if fs := tb.Guard.Audit(); len(fs) != 0 {
+		t.Errorf("audit findings after attack: %v", fs)
+	}
+}
+
+// TestEvictedTenantCanReadmit checks the recovery arc: an evicted tenant
+// with ReadmitAfter set requests a fresh allocation, the controller
+// reinstates its ledger, and the new grant epoch authenticates.
+func TestEvictedTenantCanReadmit(t *testing.T) {
+	tb, srv, _, _ := setupVictim(t)
+	_ = srv
+	attCache, attCl := addCache(t, tb, 2, srv, [4]byte{})
+	_ = attCache
+	attCl.ReadmitAfter = 500 * time.Millisecond
+	if err := attCl.RequestAllocation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitOperational(attCl, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	oldEpoch := attCl.Epoch()
+
+	// Drive the tenant to eviction via direct guard violations.
+	for i := 0; tb.Guard.Tenant(2) == nil || tb.Guard.Tenant(2).State() < guard.Evicted; i++ {
+		if i > 100 {
+			t.Fatal("not evicted")
+		}
+		tb.Guard.MemFault(2, 1, 1<<20, 0, false)
+	}
+	tb.RunFor(3 * time.Second) // eviction, then scheduled re-admission
+
+	if attCl.State() != client.Operational {
+		t.Fatalf("evicted tenant did not re-admit: state %v", attCl.State())
+	}
+	if attCl.Epoch() == oldEpoch || attCl.Epoch() == 0 {
+		t.Errorf("re-admitted epoch = %d, want fresh nonzero (old %d)", attCl.Epoch(), oldEpoch)
+	}
+	led := tb.Guard.Tenant(2)
+	if led.State() != guard.Healthy {
+		t.Errorf("ledger after re-admission = %v, want Healthy", led.State())
+	}
+	last := led.History[len(led.History)-1]
+	if last.Trigger != guard.KindReadmitted {
+		t.Errorf("last transition = %v, want readmitted", last)
+	}
+	if tb.RT.Epoch(2) != attCl.Epoch() {
+		t.Errorf("client epoch %d != runtime epoch %d", attCl.Epoch(), tb.RT.Epoch(2))
+	}
+}
+
+// TestAdversarialTenantScenario runs the library's canned attack arc and
+// checks the deterministic trace plus the end state: the attacker at least
+// quarantined, the victim untouched.
+func TestAdversarialTenantScenario(t *testing.T) {
+	tb, srv, cache, victimCl := setupVictim(t)
+	_ = cache
+	_ = victimCl
+	attCache, attCl := addCache(t, tb, 2, srv, [4]byte{})
+	_ = attCache
+	attCl.ReadmitAfter = 0
+	if err := attCl.RequestAllocation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitOperational(attCl, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	_, advMAC, _ := tb.NewHostID()
+	adv := chaos.NewAdversary(tb.Eng, advMAC, tb.Switch.MAC())
+	_, ap := tb.Attach(adv, advMAC)
+	adv.Attach(ap)
+	adv.Arm(2, attCl.Epoch())
+
+	sc := chaos.AdversarialTenant(adv, 1, 42)
+	if err := sc.Install(tb.System()); err != nil {
+		t.Fatal(err)
+	}
+	tb.RunFor(2 * time.Second)
+
+	if got := len(sc.Trace()); got != 5 {
+		t.Fatalf("scenario fired %d/5 events:\n%s", got, chaos.TraceString(sc.Trace()))
+	}
+	led := tb.Guard.Tenant(2)
+	if led == nil || led.State() < guard.Quarantined {
+		t.Fatalf("attacker state = %v, want >= Quarantined", led)
+	}
+	if vl := tb.Guard.Tenant(1); vl != nil && vl.Total() != 0 {
+		t.Errorf("victim charged %d violations", vl.Total())
+	}
+	if tb.Guard.PortViolations == 0 {
+		t.Error("no port-attributed violations from the unauthenticated phases")
+	}
+	if adv.Sent == 0 {
+		t.Error("adversary sent nothing")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"activermt/internal/alloc"
 	"activermt/internal/chaos"
 	"activermt/internal/client"
+	"activermt/internal/guard"
 	"activermt/internal/netsim"
 	"activermt/internal/packet"
 	"activermt/internal/rmt"
@@ -25,6 +26,8 @@ type Config struct {
 	RMT       rmt.Config
 	Alloc     alloc.Config
 	Costs     switchd.Costs
+	Guard     guard.Policy
+	NoGuard   bool // disable the capsule guard entirely
 	LinkDelay time.Duration
 	LinkBW    float64 // bits per second; 0 = infinite
 }
@@ -36,6 +39,7 @@ func DefaultConfig() Config {
 		RMT:       rmt.DefaultConfig(),
 		Alloc:     alloc.DefaultConfig(),
 		Costs:     switchd.DefaultCosts(),
+		Guard:     guard.DefaultPolicy(),
 		LinkDelay: 5 * time.Microsecond,
 		LinkBW:    40e9,
 	}
@@ -47,6 +51,7 @@ type Testbed struct {
 	RT     *runtime.Runtime
 	Switch *switchd.Switch
 	Ctrl   *switchd.Controller
+	Guard  *guard.Guard // nil when Config.NoGuard
 
 	cfg      Config
 	nextPort int
@@ -66,7 +71,18 @@ func New(cfg Config) (*Testbed, error) {
 	}
 	sw := switchd.NewSwitch(eng, rt, MACFor(0))
 	ctrl := switchd.NewController(eng, sw, al, cfg.Costs)
-	return &Testbed{Eng: eng, RT: rt, Switch: sw, Ctrl: ctrl, cfg: cfg, nextPort: 1, nextHost: 1}, nil
+	tb := &Testbed{Eng: eng, RT: rt, Switch: sw, Ctrl: ctrl, cfg: cfg, nextPort: 1, nextHost: 1}
+	if !cfg.NoGuard {
+		pol := cfg.Guard
+		if pol == (guard.Policy{}) {
+			pol = guard.DefaultPolicy()
+		}
+		tb.Guard = guard.New(rt, pol, eng.Now)
+		sw.SetGuard(tb.Guard)
+		rt.SetGuardHook(tb.Guard)
+		ctrl.AttachGuard(tb.Guard)
+	}
+	return tb, nil
 }
 
 // MACFor returns the deterministic MAC of host n (0 is the switch).
@@ -115,7 +131,7 @@ func (tb *Testbed) AddClient(fid uint16, svc *client.Service) *client.Client {
 // layer: scenarios built against this system act on the testbed's engine,
 // switch, controller, and runtime.
 func (tb *Testbed) System() *chaos.System {
-	return &chaos.System{Eng: tb.Eng, Switch: tb.Switch, Ctrl: tb.Ctrl, RT: tb.RT}
+	return &chaos.System{Eng: tb.Eng, Switch: tb.Switch, Ctrl: tb.Ctrl, RT: tb.RT, Guard: tb.Guard}
 }
 
 // SnapshotFn exposes the controller-side register read API for apps that
