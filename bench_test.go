@@ -9,6 +9,7 @@ package main
 
 import (
 	"net/netip"
+	gort "runtime"
 	"testing"
 
 	"activermt/internal/alloc"
@@ -18,6 +19,7 @@ import (
 	"activermt/internal/experiments"
 	"activermt/internal/isa"
 	"activermt/internal/packet"
+	"activermt/internal/runtime"
 	"activermt/internal/workload"
 )
 
@@ -137,6 +139,58 @@ RETURN
 	for i := 0; i < b.N; i++ {
 		sys.Execute(dep, [4]uint32{0, 0, addr, 0}, 0)
 	}
+}
+
+// BenchmarkPacketPath measures the allocation-free capsule hot path: one
+// cache-query execution through ExecuteCapsule with pooled scratch state.
+// The allocs/op figure is the regression gate — it must be 0 in steady
+// state (TestExecuteCapsuleZeroAlloc enforces it; this benchmark tracks the
+// ns/op trajectory alongside).
+func BenchmarkPacketPath(b *testing.B) {
+	sys, ring, err := experiments.BuildPacketPathWorkload(8, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := runtime.NewExecResult()
+	sink := sys.RT.NewExecSink()
+	for i := 0; i < len(ring); i++ { // warm scratch buffers
+		sys.RT.ExecuteCapsule(ring[i], res, sink)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.RT.ExecuteCapsule(ring[i%len(ring)], res, sink)
+	}
+}
+
+// BenchmarkPacketPathLanes measures the same workload through the
+// multi-lane dataplane (lane count = GOMAXPROCS, floor 2): dispatch,
+// striped execution, counter merge at Stop.
+func BenchmarkPacketPathLanes(b *testing.B) {
+	sys, ring, err := experiments.BuildPacketPathWorkload(8, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := gort.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	lanes, err := sys.RT.NewLanes(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < len(ring); i++ { // warm-up
+		lanes.Dispatch(ring[i], uint32(i))
+	}
+	lanes.Quiesce()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lanes.Dispatch(ring[i%len(ring)], uint32(i))
+	}
+	lanes.Quiesce()
+	b.StopTimer()
+	lanes.Stop()
 }
 
 // BenchmarkAllocate measures one contended cache admission (enumeration +

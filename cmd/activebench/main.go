@@ -6,12 +6,19 @@
 //	activebench -list
 //	activebench [-quick] [-seed N] [-out DIR] fig5a fig8b ...
 //	activebench [-quick] all
+//	activebench -lanes N [-packets M]
 //
 // Each experiment prints its headline metrics and notes to stdout and
 // writes its CSV data series to DIR/<id>.csv (default: results/).
+//
+// -lanes N runs the packet-path throughput harness instead: capsule
+// executions per second through the interpreter, single-threaded fast path
+// versus the multi-lane dataplane at 1..N lanes, written to
+// BENCH_pipeline.json for the perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,11 +33,21 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced trials/epochs")
 	seed := flag.Int64("seed", 1, "workload seed")
 	out := flag.String("out", "results", "output directory for CSV series")
+	lanes := flag.Int("lanes", 0, "run the packet-path throughput harness up to N lanes")
+	packets := flag.Int("packets", 0, "throughput harness: capsules per measured run")
+	benchOut := flag.String("bench-out", "BENCH_pipeline.json", "throughput harness: result file")
 	flag.Parse()
 
 	if *list {
 		for _, s := range experiments.Registry {
 			fmt.Printf("%-8s %s\n         paper: %s\n", s.ID, s.Title, s.Paper)
+		}
+		return
+	}
+	if *lanes > 0 {
+		if err := runPipelineBench(*lanes, *packets, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "activebench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -85,6 +102,39 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runPipelineBench measures capsule throughput at 1,2,4,...,n lanes against
+// the single-threaded fast path and writes the result JSON.
+func runPipelineBench(n, packets int, path string) error {
+	counts := []int{}
+	for c := 1; c < n; c *= 2 {
+		counts = append(counts, c)
+	}
+	counts = append(counts, n)
+	res, err := experiments.RunPipelineBench(experiments.PipelineBenchConfig{
+		Lanes:   counts,
+		Packets: packets,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== packet-path throughput (%d tenants, cache workload, GOMAXPROCS=%d)\n",
+		res.Tenants, res.GoMaxProcs)
+	fmt.Printf("   %-12s %12.0f pps\n", "single", res.Single.PPS)
+	for _, lr := range res.Lanes {
+		fmt.Printf("   %-12s %12.0f pps   %.2fx vs single\n",
+			fmt.Sprintf("lanes=%d", lr.Lanes), lr.PPS, lr.Speedup)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("   data: %s\n", path)
+	return nil
 }
 
 func sortedKeys(m map[string]float64) []string {

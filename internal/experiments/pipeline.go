@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	gort "runtime"
+	"time"
+
+	"activermt/internal/compiler"
+	"activermt/internal/core"
+	"activermt/internal/isa"
+	"activermt/internal/packet"
+	art "activermt/internal/runtime"
+)
+
+// This file is the packet-path throughput harness behind `activebench
+// -lanes N`: it measures raw capsule executions per second through the
+// interpreter — single-threaded fast path versus the multi-lane dataplane —
+// on a multi-tenant cache workload. Unlike the figure experiments it
+// measures wall-clock, not virtual time, so it is not in the Registry; the
+// result goes to BENCH_pipeline.json for regression tracking.
+
+// PipelineBenchConfig sizes the throughput run.
+type PipelineBenchConfig struct {
+	Tenants int   // cache tenants deployed (default 8)
+	Packets int   // capsules per measured run (default 200k)
+	Lanes   []int // lane counts to measure (default 1,2,4)
+	Ring    int   // pre-built capsules per tenant (default 64)
+}
+
+// LaneRate is one measured configuration. Lanes==0 denotes the
+// single-threaded ExecuteCapsule loop (no dispatch machinery at all).
+type LaneRate struct {
+	Lanes   int     `json:"lanes"`
+	Packets int     `json:"packets"`
+	Seconds float64 `json:"seconds"`
+	PPS     float64 `json:"pps"`
+	Speedup float64 `json:"speedup_vs_single"`
+}
+
+// PipelineBench is the harness result, serialized to BENCH_pipeline.json.
+type PipelineBench struct {
+	Tenants    int        `json:"tenants"`
+	Ring       int        `json:"ring_per_tenant"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"numcpu"`
+	Single     LaneRate   `json:"single"`
+	Lanes      []LaneRate `json:"lanes"`
+}
+
+// pipelineCacheProg is the paper's cache query (Listing 1): three memory
+// accesses, the workload the multi-tenant throughput claim is made on.
+var pipelineCacheProg = isa.MustAssemble("bench-cache", `
+.arg ADDR 2
+MAR_LOAD $ADDR
+MEM_READ
+MBR_EQUALS_DATA_1
+CRET
+MEM_READ
+MBR_EQUALS_DATA_2
+CRET
+RTS
+MEM_READ
+MBR_STORE
+RETURN
+`)
+
+// buildPipelineWorkload deploys the tenants and pre-builds the capsule ring.
+// Capsules are fully decoded up front — the harness measures execution, not
+// parsing (cmd-level ingress decoding is covered by the program cache).
+func buildPipelineWorkload(cfg PipelineBenchConfig) (*core.System, []*packet.Active, error) {
+	sys, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := []compiler.AccessSpec{{AlignGroup: 1}, {AlignGroup: 1}, {AlignGroup: 1}}
+	deps := make([]*core.Deployment, cfg.Tenants)
+	for t := 0; t < cfg.Tenants; t++ {
+		fid := uint16(t + 1)
+		dep, err := sys.Deploy(fid, pipelineCacheProg, true, specs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("deploy tenant %d: %w", fid, err)
+		}
+		deps[t] = dep
+	}
+	ring := make([]*packet.Active, 0, cfg.Tenants*cfg.Ring)
+	for t, dep := range deps {
+		fid := uint16(t + 1)
+		// Elastic neighbors shrink as later tenants arrive, so addresses come
+		// from the FINAL placement, after every deployment committed. Bucket
+		// addressing is client-side (Section 3.2): the capsule carries an
+		// absolute address inside the tenant's granted region.
+		pl, ok := sys.AL.PlacementFor(fid)
+		if !ok {
+			return nil, nil, fmt.Errorf("tenant %d lost its placement", fid)
+		}
+		lo := pl.Accesses[0].Range.Lo
+		words := pl.Accesses[0].Range.Hi - lo
+		for k := 0; k < cfg.Ring; k++ {
+			addr := lo + uint32(k*2654435761)%words
+			a := &packet.Active{
+				Header:  packet.ActiveHeader{FID: fid},
+				Args:    [4]uint32{uint32(k), uint32(k) ^ 0x5a5a, addr, 0},
+				Program: dep.Program,
+			}
+			a.Header.SetType(packet.TypeProgram)
+			ring = append(ring, a)
+		}
+	}
+	// Interleave tenants round-robin so lane dispatch sees a mixed stream.
+	mixed := make([]*packet.Active, 0, len(ring))
+	for k := 0; k < cfg.Ring; k++ {
+		for t := 0; t < cfg.Tenants; t++ {
+			mixed = append(mixed, ring[t*cfg.Ring+k])
+		}
+	}
+	return sys, mixed, nil
+}
+
+// BuildPacketPathWorkload deploys `tenants` cache tenants and returns the
+// interleaved capsule ring (`ring` capsules per tenant) — the shared setup
+// for BenchmarkPacketPath and the zero-allocation gate test.
+func BuildPacketPathWorkload(tenants, ring int) (*core.System, []*packet.Active, error) {
+	return buildPipelineWorkload(PipelineBenchConfig{Tenants: tenants, Ring: ring})
+}
+
+// RunPipelineBench measures the single-threaded fast path and each requested
+// lane count over the same pre-built capsule stream.
+func RunPipelineBench(cfg PipelineBenchConfig) (*PipelineBench, error) {
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 8
+	}
+	if cfg.Packets <= 0 {
+		cfg.Packets = 200_000
+	}
+	if cfg.Ring <= 0 {
+		cfg.Ring = 64
+	}
+	if len(cfg.Lanes) == 0 {
+		cfg.Lanes = []int{1, 2, 4}
+	}
+
+	res := &PipelineBench{
+		Tenants:    cfg.Tenants,
+		Ring:       cfg.Ring,
+		GoMaxProcs: gort.GOMAXPROCS(0),
+		NumCPU:     gort.NumCPU(),
+	}
+
+	// Single-threaded fast path: one ExecResult, one sink, no dispatch.
+	{
+		sys, ring, err := buildPipelineWorkload(cfg)
+		if err != nil {
+			return nil, err
+		}
+		er := art.NewExecResult()
+		sink := sys.RT.NewExecSink()
+		// Warm the scratch buffers out of the measured window.
+		for i := 0; i < len(ring); i++ {
+			sys.RT.ExecuteCapsule(ring[i], er, sink)
+		}
+		start := time.Now()
+		for i := 0; i < cfg.Packets; i++ {
+			sys.RT.ExecuteCapsule(ring[i%len(ring)], er, sink)
+		}
+		el := time.Since(start)
+		sink.Path.FlushInto(sys.RT)
+		sink.Dev.FlushInto(sys.RT.Device())
+		res.Single = LaneRate{
+			Lanes:   0,
+			Packets: cfg.Packets,
+			Seconds: el.Seconds(),
+			PPS:     float64(cfg.Packets) / el.Seconds(),
+			Speedup: 1,
+		}
+	}
+
+	for _, n := range cfg.Lanes {
+		sys, ring, err := buildPipelineWorkload(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ln, err := sys.RT.NewLanes(n)
+		if err != nil {
+			return nil, err
+		}
+		// Warm-up pass.
+		for i := 0; i < len(ring); i++ {
+			ln.Dispatch(ring[i], uint32(i))
+		}
+		ln.Quiesce()
+		start := time.Now()
+		for i := 0; i < cfg.Packets; i++ {
+			ln.Dispatch(ring[i%len(ring)], uint32(i))
+		}
+		ln.Stop()
+		el := time.Since(start)
+		res.Lanes = append(res.Lanes, LaneRate{
+			Lanes:   n,
+			Packets: cfg.Packets,
+			Seconds: el.Seconds(),
+			PPS:     float64(cfg.Packets) / el.Seconds(),
+			Speedup: (float64(cfg.Packets) / el.Seconds()) / res.Single.PPS,
+		})
+	}
+	return res, nil
+}

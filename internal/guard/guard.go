@@ -171,12 +171,21 @@ func (g *Guard) CheckProgram(a *packet.Active, port int) bool {
 
 	// Structural sanity. Decoding already rejected truncated capsules;
 	// this rejects programs whose shape cannot execute (bad labels,
-	// branches to nowhere).
+	// branches to nowhere). When the ingress decoder came through the
+	// program cache it memoized the verdict (parse-once): the walk below
+	// runs only for capsules decoded without a cache.
 	if a.Program == nil {
 		return g.denyPort(port, KindMalformed)
 	}
-	if err := a.Program.Validate(); err != nil {
+	switch a.ValidState {
+	case packet.ProgValid:
+		// validated once at decode; skip the per-packet walk
+	case packet.ProgInvalid:
 		return g.denyPort(port, KindMalformed)
+	default:
+		if err := a.Program.Validate(); err != nil {
+			return g.denyPort(port, KindMalformed)
+		}
 	}
 
 	// Identity. Revoked and evicted FIDs have no pipeline access at all;

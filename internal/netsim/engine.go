@@ -6,10 +6,7 @@
 // reproduces exactly — not on NIC microarchitecture.
 package netsim
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
 // event is one scheduled callback.
 type event struct {
@@ -18,24 +15,69 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap over (at, seq). It replaces
+// container/heap, whose interface{}-typed Push/Pop box every event onto the
+// heap (one allocation per Schedule and another per Step). The sift routines
+// operate on the concrete slice directly, so steady-state scheduling reuses
+// the slice's capacity and allocates nothing.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push appends e and restores the heap invariant by sifting up.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
 }
+
+// pop removes and returns the minimum event. The vacated slot is zeroed so
+// the slice does not pin the popped closure.
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = event{}
+	s = s[:n]
+	*h = s
+	// Sift the relocated root down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// initialEventCap pre-sizes the queue: a busy simulation keeps hundreds of
+// in-flight frames and timers, and starting at a realistic capacity avoids
+// the early append-growth copies.
+const initialEventCap = 256
 
 // Engine is the simulation core. It is not safe for concurrent use: the
 // whole simulation runs single-threaded for determinism.
@@ -46,7 +88,9 @@ type Engine struct {
 }
 
 // NewEngine returns an engine at virtual time zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	return &Engine{events: make(eventHeap, 0, initialEventCap)}
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
@@ -65,7 +109,7 @@ func (e *Engine) At(t time.Duration, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // Step executes the next event; it reports false when the queue is empty.
@@ -73,7 +117,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	e.now = ev.at
 	ev.fn()
 	return true

@@ -308,6 +308,12 @@ type Active struct {
 	AllocReq  *AllocRequest
 	AllocResp *AllocResponse
 	Payload   []byte
+
+	// ValidState memoizes the program's structural validation verdict
+	// (ProgUnknown/ProgValid/ProgInvalid). The caching decoder stamps it
+	// so the ingress guard need not re-walk the program per packet; the
+	// plain Decode path leaves it ProgUnknown.
+	ValidState uint8
 }
 
 // Encode serializes the active packet (headers followed by payload),

@@ -175,13 +175,40 @@ func (t FiveTuple) Words() []uint32 {
 	}
 }
 
+// WordsArray is the allocation-free variant of Words, used by the packet
+// hot path to fill a PHV's tuple words without a slice allocation.
+func (t FiveTuple) WordsArray() [4]uint32 {
+	var s, d [4]byte
+	if t.Src.Is4() {
+		s = t.Src.As4()
+	}
+	if t.Dst.Is4() {
+		d = t.Dst.As4()
+	}
+	return [4]uint32{
+		binary.BigEndian.Uint32(s[:]),
+		binary.BigEndian.Uint32(d[:]),
+		uint32(t.SrcPort)<<16 | uint32(t.DstPort),
+		uint32(t.Protocol),
+	}
+}
+
 // ParseFiveTuple extracts the 5-tuple from an IPv4/UDP (or TCP-like)
-// payload; ok is false for anything else.
+// payload; ok is false for anything else. It runs on the per-packet hot
+// path, so rejection is a boolean, never a constructed error: DecodeIPv4's
+// fmt.Errorf paths would otherwise allocate for every non-IP payload.
 func ParseFiveTuple(b []byte) (FiveTuple, bool) {
-	ip, rest, err := DecodeIPv4(b)
-	if err != nil {
+	if len(b) < IPv4HeaderSize || b[0] != 0x45 || ipChecksum(b[:IPv4HeaderSize]) != 0 {
 		return FiveTuple{}, false
 	}
+	ip := IPv4Header{
+		TotalLen: binary.BigEndian.Uint16(b[2:]),
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      netip.AddrFrom4([4]byte(b[12:16])),
+		Dst:      netip.AddrFrom4([4]byte(b[16:20])),
+	}
+	rest := b[IPv4HeaderSize:]
 	t := FiveTuple{Src: ip.Src, Dst: ip.Dst, Protocol: ip.Protocol}
 	if ip.Protocol != ProtoUDP && ip.Protocol != ProtoTCP {
 		return t, true

@@ -1,0 +1,236 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"activermt/internal/isa"
+)
+
+// This file implements the decoded-program cache: the ISA decode and the
+// structural validation of a program capsule run once per *program version*
+// instead of once per packet. A version is keyed by (FID, grant epoch,
+// program length, CRC32 of the raw program bytes) — the same epoch that
+// authenticates grants drives invalidation, so a reallocation that bumps a
+// tenant's epoch automatically orphans every stale cache entry. The cached
+// isa.Program is immutable and shared: the execution path copies its
+// instructions into the PHV and never writes through the pointer.
+//
+// A tenant can only collide CRC32 within its own (FID, epoch) keyspace, so
+// a crafted collision can corrupt nobody's programs but its own.
+
+// Program validity states recorded on a decoded Active by the caching
+// decoder, consumed by the ingress guard (parse-once: the guard skips its
+// own Validate walk when the state is already known).
+const (
+	ProgUnknown uint8 = iota // not yet validated (non-cached decode path)
+	ProgValid                // structural validation passed
+	ProgInvalid              // structural validation failed
+)
+
+// ProgKey identifies one cached program version.
+type ProgKey struct {
+	FID   uint16
+	Epoch uint8
+	Len   uint16 // wire length of the program bytes, EOF included
+	Hash  uint32 // CRC32 of the raw program bytes
+}
+
+type cacheEntry struct {
+	prog  *isa.Program
+	valid bool // Validate() == nil, memoized
+}
+
+// ProgCache is a bounded decoded-program cache. It is safe for concurrent
+// use; in the simulator the ingress path is single-threaded, but the mutex
+// keeps the cache usable from multi-lane harnesses too.
+type ProgCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[ProgKey]*cacheEntry
+
+	hits, misses, invalidations uint64
+}
+
+// DefaultProgCacheSize bounds the cache: large enough for every (tenant,
+// epoch, mutant) triple a busy switch serves, small enough to cap memory.
+const DefaultProgCacheSize = 1024
+
+// NewProgCache returns a cache bounded to max entries (<=0 uses the
+// default). When full, the cache is flushed wholesale — entries are tiny
+// and rebuilt in one decode each, so eviction bookkeeping isn't worth it.
+func NewProgCache(max int) *ProgCache {
+	if max <= 0 {
+		max = DefaultProgCacheSize
+	}
+	return &ProgCache{max: max, m: make(map[ProgKey]*cacheEntry)}
+}
+
+// Stats returns (hits, misses, invalidations).
+func (c *ProgCache) Stats() (hits, misses, invalidations uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.invalidations
+}
+
+// Len returns the number of cached program versions.
+func (c *ProgCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Invalidate drops every cached version belonging to fid. Controllers call
+// it on grant commits and evictions; epoch keying already makes stale
+// entries unreachable, so this is memory hygiene, not correctness.
+func (c *ProgCache) Invalidate(fid uint16) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.m {
+		if k.FID == fid {
+			delete(c.m, k)
+			c.invalidations++
+		}
+	}
+}
+
+// progWireLen scans the raw program bytes for the EOF header and returns
+// the wire length including it. It does not validate opcodes — the decode
+// that follows a cache miss does.
+func progWireLen(b []byte) (int, bool) {
+	for off := 0; off+isa.WireSize <= len(b); off += isa.WireSize {
+		if b[off] == byte(isa.OpEOF) {
+			return off + isa.WireSize, true
+		}
+	}
+	return 0, false
+}
+
+// lookupOrDecode returns the decoded program for the raw bytes, its wire
+// length, and its memoized validity; on a miss it decodes, validates once,
+// and inserts.
+func (c *ProgCache) lookupOrDecode(fid uint16, epoch uint8, raw []byte) (*isa.Program, int, uint8, error) {
+	n, ok := progWireLen(raw)
+	if !ok {
+		return nil, 0, ProgUnknown, fmt.Errorf("isa: program truncated at byte %d (no EOF)", len(raw)-len(raw)%isa.WireSize)
+	}
+	key := ProgKey{FID: fid, Epoch: epoch, Len: uint16(n), Hash: crc32.ChecksumIEEE(raw[:n])}
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		state := ProgInvalid
+		if e.valid {
+			state = ProgValid
+		}
+		return e.prog, n, state, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	prog, dn, err := isa.DecodeProgram(raw)
+	if err != nil {
+		return nil, 0, ProgUnknown, err
+	}
+	e := &cacheEntry{prog: prog, valid: prog.Validate() == nil}
+	c.mu.Lock()
+	if len(c.m) >= c.max {
+		c.m = make(map[ProgKey]*cacheEntry)
+	}
+	c.m[key] = e
+	c.mu.Unlock()
+	state := ProgInvalid
+	if e.valid {
+		state = ProgValid
+	}
+	return prog, dn, state, nil
+}
+
+// DecodeInto parses an active packet from b into the caller's Active,
+// consulting the cache for program capsules. It is the allocation-free
+// ingress decode for the steady state: on a cache hit nothing is copied or
+// allocated — a.Program aliases the immutable cached program and a.Payload
+// aliases b, so the Active is only valid while b is.
+//
+// Control traffic (allocation requests/responses) still allocates its
+// decoded structures; it is not on the packet hot path.
+func DecodeInto(b []byte, a *Active, c *ProgCache) error {
+	h, err := decodeActiveHeader(b)
+	if err != nil {
+		return err
+	}
+	*a = Active{Header: h}
+	rest := b[InitialHeaderSize:]
+	switch h.Type() {
+	case TypeProgram:
+		if len(rest) < ArgHeaderSize {
+			return fmt.Errorf("packet: short argument header: %d bytes", len(rest))
+		}
+		for i := range a.Args {
+			a.Args[i] = binary.BigEndian.Uint32(rest[4*i:])
+		}
+		rest = rest[ArgHeaderSize:]
+		epoch := uint8(h.Opaque) & EpochMax
+		prog, n, state, err := c.lookupOrDecode(h.FID, epoch, rest)
+		if err != nil {
+			return err
+		}
+		a.Program = prog
+		a.ValidState = state
+		rest = rest[n:]
+	case TypeAllocReq:
+		req, err := allocRequestFromWire(h.Opaque, rest)
+		if err != nil {
+			return err
+		}
+		a.AllocReq = req
+		rest = rest[AllocReqSize:]
+	case TypeAllocResp:
+		resp, err := allocResponseFromWire(h.Opaque, rest)
+		if err != nil {
+			return err
+		}
+		a.AllocResp = resp
+		rest = rest[AllocRespSize:]
+	case TypeControl:
+	}
+	if len(rest) > 0 {
+		a.Payload = rest
+	}
+	return nil
+}
+
+// DecodeCached is DecodeInto with an allocated Active, for callers that
+// retain the result (control paths, tests).
+func DecodeCached(b []byte, c *ProgCache) (*Active, error) {
+	a := &Active{}
+	if err := DecodeInto(b, a, c); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// DecodeFrameCached parses a full frame like DecodeFrame, but decodes
+// active program capsules through the cache (one ISA decode + validation
+// per program version) and stamps ValidState for the ingress guard. The
+// decoded Active's Payload aliases b.
+func DecodeFrameCached(b []byte, c *ProgCache) (*Frame, error) {
+	eth, rest, err := DecodeEth(b)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{Eth: eth}
+	if eth.EtherType == EtherTypeActive {
+		a := &Active{}
+		if err := DecodeInto(rest, a, c); err != nil {
+			return nil, err
+		}
+		f.Active = a
+		f.Inner = a.Payload
+		return f, nil
+	}
+	f.Inner = append([]byte(nil), rest...)
+	return f, nil
+}

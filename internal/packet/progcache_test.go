@@ -1,0 +1,175 @@
+package packet
+
+import (
+	"testing"
+
+	"activermt/internal/isa"
+)
+
+// capsuleWire builds the wire form of a program capsule for fid carrying
+// prog, with the grant epoch echoed in the header's opaque field.
+func capsuleWire(t *testing.T, fid uint16, epoch uint8, prog *isa.Program) []byte {
+	t.Helper()
+	a := &Active{
+		Header:  ActiveHeader{FID: fid, Opaque: uint32(epoch)},
+		Args:    [4]uint32{1, 2, 3, 4},
+		Program: prog,
+	}
+	a.Header.SetType(TypeProgram)
+	wire, err := a.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+var cacheTestProg = isa.MustAssemble("pc-test", `
+MAR_LOAD 2
+MEM_READ
+RTS
+RETURN
+`)
+
+// invalidTestProg decodes fine but fails structural validation: a forward
+// jump to a label that is never defined.
+var invalidTestProg = &isa.Program{Name: "pc-bad", Instrs: []isa.Instruction{
+	{Op: isa.OpUJump, Operand: 5},
+	{Op: isa.OpReturn},
+}}
+
+func TestProgCacheHitAndMiss(t *testing.T) {
+	c := NewProgCache(0)
+	wire := capsuleWire(t, 1, 3, cacheTestProg)
+
+	a1, err := DecodeCached(wire, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := DecodeCached(wire, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache len = %d, want 1", c.Len())
+	}
+	// The cached program is shared, not re-decoded.
+	if a1.Program != a2.Program {
+		t.Fatal("cache hit returned a different program pointer")
+	}
+	if a1.ValidState != ProgValid || a2.ValidState != ProgValid {
+		t.Fatalf("valid states = %d/%d, want ProgValid", a1.ValidState, a2.ValidState)
+	}
+	if a1.Args != [4]uint32{1, 2, 3, 4} {
+		t.Fatalf("args = %v", a1.Args)
+	}
+	if len(a1.Program.Instrs) != len(cacheTestProg.Instrs) {
+		t.Fatalf("decoded %d instrs, want %d", len(a1.Program.Instrs), len(cacheTestProg.Instrs))
+	}
+}
+
+func TestProgCacheMemoizesInvalidity(t *testing.T) {
+	if invalidTestProg.Validate() == nil {
+		t.Fatal("test program unexpectedly valid")
+	}
+	c := NewProgCache(0)
+	wire := capsuleWire(t, 1, 1, invalidTestProg)
+	for i := 0; i < 3; i++ {
+		a, err := DecodeCached(wire, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.ValidState != ProgInvalid {
+			t.Fatalf("round %d: valid state = %d, want ProgInvalid", i, a.ValidState)
+		}
+	}
+	// Validation ran once (the miss); both hits reused the verdict.
+	if hits, misses, _ := c.Stats(); hits != 2 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", hits, misses)
+	}
+}
+
+// TestProgCacheEpochKeying: the same program bytes under a new grant epoch
+// are a different version — a reallocation orphans stale entries without
+// any explicit invalidation.
+func TestProgCacheEpochKeying(t *testing.T) {
+	c := NewProgCache(0)
+	if _, err := DecodeCached(capsuleWire(t, 1, 1, cacheTestProg), c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCached(capsuleWire(t, 1, 2, cacheTestProg), c); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct FIDs are distinct versions too.
+	if _, err := DecodeCached(capsuleWire(t, 2, 1, cacheTestProg), c); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := c.Stats(); hits != 0 || misses != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 0/3", hits, misses)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache len = %d, want 3", c.Len())
+	}
+}
+
+func TestProgCacheInvalidate(t *testing.T) {
+	c := NewProgCache(0)
+	if _, err := DecodeCached(capsuleWire(t, 1, 1, cacheTestProg), c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCached(capsuleWire(t, 2, 1, cacheTestProg), c); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate(1)
+	if c.Len() != 1 {
+		t.Fatalf("cache len = %d after invalidate, want 1", c.Len())
+	}
+	if _, _, inv := c.Stats(); inv != 1 {
+		t.Fatalf("invalidations = %d, want 1", inv)
+	}
+	// The invalidated tenant re-decodes; the survivor still hits.
+	if _, err := DecodeCached(capsuleWire(t, 1, 1, cacheTestProg), c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCached(capsuleWire(t, 2, 1, cacheTestProg), c); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := c.Stats(); hits != 1 || misses != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 1/3", hits, misses)
+	}
+}
+
+// TestProgCacheFlushOnFull: a full cache is flushed wholesale rather than
+// tracked per-entry; inserts keep succeeding afterwards.
+func TestProgCacheFlushOnFull(t *testing.T) {
+	c := NewProgCache(2)
+	for fid := uint16(1); fid <= 5; fid++ {
+		if _, err := DecodeCached(capsuleWire(t, fid, 1, cacheTestProg), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > 2 {
+		t.Fatalf("cache len = %d, exceeds max 2", c.Len())
+	}
+	// The last insert must be live.
+	if _, err := DecodeCached(capsuleWire(t, 5, 1, cacheTestProg), c); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _, _ := c.Stats(); hits != 1 {
+		t.Fatalf("hits = %d, want 1 (last insert live after flush)", hits)
+	}
+}
+
+func TestProgCacheTruncatedProgram(t *testing.T) {
+	c := NewProgCache(0)
+	wire := capsuleWire(t, 1, 1, cacheTestProg)
+	// Chop the capsule before the program's EOF marker.
+	if _, err := DecodeCached(wire[:len(wire)-isa.WireSize], c); err == nil {
+		t.Fatal("truncated program decoded without error")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache len = %d after failed decode, want 0", c.Len())
+	}
+}

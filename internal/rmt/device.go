@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync/atomic"
 	"time"
 
 	"activermt/internal/isa"
@@ -22,6 +23,10 @@ type Translate struct {
 // by the device-wide action table (the paper's runtime installs the full
 // instruction set in every stage), while the stage owns its register array,
 // its protection TCAM, and its translation entries.
+//
+// The TCAM and translation map are control-plane builder state: the packet
+// path never reads them directly, only the immutable StageView published
+// from them (see view.go).
 type Stage struct {
 	Registers *RegisterArray
 	Prot      *TCAM
@@ -66,12 +71,19 @@ func (s *Stage) TranslateEntries() map[uint16]Translate {
 type Action func(ctx *Ctx, in isa.Instruction)
 
 // Ctx is the execution context passed to actions: the device, the physical
-// stage the instruction runs in, and the packet's PHV.
+// stage the instruction runs in, the packet's PHV, the published stage view
+// (protection + translation), and the counter sink. Actions must consult
+// View — not the stage's TCAM or translation map — and count through Stats,
+// so that execution reads only immutable snapshots and lanes never race on
+// counters. Ctx values are scratch space owned by the PHV; they are reused
+// across instructions and must not be retained by actions.
 type Ctx struct {
 	Dev      *Device
 	Stage    *Stage
 	StageIdx int // physical stage index
 	PHV      *PHV
+	View     *StageView
+	Stats    *ExecStats
 }
 
 // TraceEvent describes one instruction slot as it executes (or is skipped
@@ -95,7 +107,17 @@ type Device struct {
 	actions [isa.NumOpcodes]Action
 	trace   func(TraceEvent)
 
-	// Counters for the experiment harness.
+	// view is the published pipeline snapshot the packet path executes
+	// against; viewGen numbers publications.
+	view    atomic.Pointer[PipeView]
+	viewGen atomic.Uint64
+
+	// stats is the counter sink for the single-threaded compat path
+	// (Exec); it is flushed into the legacy fields after every packet.
+	stats *ExecStats
+
+	// Counters for the experiment harness. Written only by FlushInto /
+	// lane merges; see ExecStats.
 	PacketsIn, PacketsDropped, Recirculations uint64
 }
 
@@ -115,6 +137,8 @@ func New(cfg Config) (*Device, error) {
 			xlate:     make(map[uint16]Translate),
 		}
 	}
+	d.stats = NewExecStats(cfg.NumStages)
+	d.RebuildView()
 	return d, nil
 }
 
@@ -175,22 +199,39 @@ func FixedHash(seed uint32, words [NumHashWords]uint32) uint32 {
 // packets are still returned (with Dropped set) so callers can account for
 // them. Latency, pass counts, and Executed flags are filled in on return.
 //
+// Exec is the single-threaded compatibility entry point: it counts into the
+// device's private sink and flushes it into the legacy counter fields
+// before returning, so counter reads between packets match the pre-split
+// implementation exactly. Concurrent callers must use ExecInto with
+// per-lane sinks instead.
+//
 // Latency is modeled at stage granularity — PassLatency/NumStages per stage
 // slot traversed — which reproduces the linear growth of Figure 8b; an RTS
 // executed at egress charges one extra full pass (the recirculation needed
 // to change ports, Section 3.1).
 func (d *Device) Exec(p *PHV) []*PHV {
-	d.PacketsIn++
-	return d.run(p, 0, 0)
+	outs := d.ExecInto(p, make([]*PHV, 0, 1), d.stats)
+	d.stats.FlushInto(d)
+	return outs
+}
+
+// ExecInto is the allocation-free execution entry point: it appends the
+// primary PHV and any FORK clones to outs (reusing its backing array) and
+// counts into the caller-owned sink st. The pipeline view is loaded once at
+// entry, so the whole packet executes against one published snapshot.
+func (d *Device) ExecInto(p *PHV, outs []*PHV, st *ExecStats) []*PHV {
+	st.ensure(d.cfg.NumStages)
+	st.PacketsIn++
+	return d.run(p, 0, 0, d.view.Load(), st, outs)
 }
 
 // run executes from logical instruction index startIdx with extraSlots
 // stage slots already charged (clone recirculation). Clone outputs are
 // appended recursively.
-func (d *Device) run(p *PHV, startIdx, extraSlots int) []*PHV {
+func (d *Device) run(p *PHV, startIdx, extraSlots int, view *PipeView, st *ExecStats, outs []*PHV) []*PHV {
 	n := d.cfg.NumStages
 	maxSlots := d.cfg.MaxPasses * n
-	outs := []*PHV{p}
+	outs = append(outs, p)
 
 	idx := startIdx
 	for !p.Complete && !p.Dropped {
@@ -212,12 +253,12 @@ func (d *Device) run(p *PHV, startIdx, extraSlots int) []*PHV {
 			// Skipping an untaken branch arm; resume at the label.
 			if in.Label == p.DisabledUntil {
 				p.DisabledUntil = 0
-				d.execute(s, p, in, idx, &outs)
+				outs = d.execute(s, p, in, idx, outs, view, st)
 			} else {
 				skipped = true
 			}
 		} else {
-			d.execute(s, p, in, idx, &outs)
+			outs = d.execute(s, p, in, idx, outs, view, st)
 		}
 		if d.trace != nil {
 			d.trace(TraceEvent{Logical: idx, Stage: s, In: in, Skipped: skipped,
@@ -225,7 +266,7 @@ func (d *Device) run(p *PHV, startIdx, extraSlots int) []*PHV {
 		}
 		idx++
 		if idx%n == 0 && idx < len(p.Instrs) && idx < maxSlots && !p.Complete && !p.Dropped {
-			d.Recirculations++
+			st.Recirculations++
 		}
 	}
 
@@ -236,29 +277,36 @@ func (d *Device) run(p *PHV, startIdx, extraSlots int) []*PHV {
 	if p.rtsAtEgress && !p.Dropped {
 		// Ports cannot change at egress: one extra pass to apply RTS.
 		slots += n
-		d.Recirculations++
+		st.Recirculations++
 	}
 	slots += extraSlots
 	p.StagesRun = slots
 	p.Passes = (slots + n - 1) / n
 	p.Latency = time.Duration(int64(slots) * d.cfg.PassLatency.Nanoseconds() / int64(n))
 	if p.Dropped {
-		d.PacketsDropped++
+		st.PacketsDropped++
 	}
 	return outs
 }
 
 // execute dispatches one instruction to its installed action and handles a
-// resulting FORK.
-func (d *Device) execute(stageIdx int, p *PHV, in isa.Instruction, idx int, outs *[]*PHV) {
+// resulting FORK. The action context is the PHV's scratch Ctx, refilled per
+// instruction — no per-instruction allocation.
+func (d *Device) execute(stageIdx int, p *PHV, in isa.Instruction, idx int, outs []*PHV, view *PipeView, st *ExecStats) []*PHV {
 	fn := d.actions[in.Op]
 	if fn == nil {
 		// Uninstalled opcode: table miss, no action.
-		return
+		return outs
 	}
-	stage := d.stages[stageIdx]
-	stage.Executed++
-	fn(&Ctx{Dev: d, Stage: stage, StageIdx: stageIdx, PHV: p}, in)
+	st.StageExecuted[stageIdx]++
+	ctx := &p.ctx
+	ctx.Dev = d
+	ctx.Stage = d.stages[stageIdx]
+	ctx.StageIdx = stageIdx
+	ctx.PHV = p
+	ctx.View = view.StageView(stageIdx)
+	ctx.Stats = st
+	fn(ctx, in)
 	if p.forkRequested {
 		p.forkRequested = false
 		c := p.Clone()
@@ -273,7 +321,8 @@ func (d *Device) execute(stageIdx int, p *PHV, in isa.Instruction, idx int, outs
 		// The clone resumes at the next logical stage after a
 		// recirculation (Section 3.1: instructions that clone packets
 		// require recirculation), charged as one extra pass.
-		d.Recirculations++
-		*outs = append(*outs, d.run(c, idx+1, d.cfg.NumStages)...)
+		st.Recirculations++
+		outs = d.run(c, idx+1, d.cfg.NumStages, view, st, outs)
 	}
+	return outs
 }

@@ -64,6 +64,18 @@ type PHV struct {
 	forkDstValid  bool
 	forkDst       uint32
 	rtsAtEgress   bool
+
+	// ctx is the scratch action context reused across instructions, so
+	// dispatching an action never heap-allocates (see Device.execute).
+	ctx Ctx
+}
+
+// Reset returns the PHV to its zero state while keeping the capacity of its
+// Instrs slice, so pooled PHVs carry no state between packets but also
+// allocate nothing on reuse.
+func (p *PHV) Reset() {
+	instrs := p.Instrs[:0]
+	*p = PHV{Instrs: instrs}
 }
 
 // RequestFork asks the device to clone the packet after the current

@@ -67,6 +67,29 @@ func (r *RegisterArray) Increment(addr uint32, delta uint32) uint32 {
 // Fault records a protection or bounds fault.
 func (r *RegisterArray) Fault() { r.Faults++ }
 
+// Get, Set, and Add are the non-counting variants of Read, Write, and
+// Increment. The packet hot path uses them together with an ExecStats sink
+// (see stats.go) so concurrent lanes never race on the shared access
+// counters; two lanes touching the same array always touch disjoint words
+// because tenants are pinned to block-aligned stripes.
+
+// Get returns the word at addr without counting the access.
+func (r *RegisterArray) Get(addr uint32) uint32 { return r.words[addr] }
+
+// Set stores v at addr without counting the access.
+func (r *RegisterArray) Set(addr uint32, v uint32) {
+	r.words[addr] = v
+	r.parity[addr] = parityOf(v)
+}
+
+// Add adds delta to the word at addr and returns the new value, without
+// counting the access.
+func (r *RegisterArray) Add(addr uint32, delta uint32) uint32 {
+	r.words[addr] += delta
+	r.parity[addr] = parityOf(r.words[addr])
+	return r.words[addr]
+}
+
 // CorruptBit flips one stored bit at addr without updating the parity — a
 // soft error in the SRAM cell. The next SweepParity over the address
 // reports it; data-plane reads return the corrupted value silently.

@@ -1,0 +1,85 @@
+package rmt
+
+// ExecStats is a counter sink for the packet hot path. The device and the
+// installed actions count into an ExecStats instead of touching the shared
+// counter fields directly, which is what lets N execution lanes run
+// concurrently without racing on accounting state: each lane owns a private
+// sink and merges it into the device's legacy counters under a
+// happens-before edge (lane shutdown).
+//
+// The single-threaded compatibility path (Device.Exec) flushes the sink into
+// the legacy fields after every packet, so code that reads Device.PacketsIn,
+// Stage.Executed, or RegisterArray.Reads between packets observes exactly
+// the values the pre-split implementation produced.
+type ExecStats struct {
+	PacketsIn, PacketsDropped, Recirculations uint64
+
+	// Per-physical-stage counters, indexed by stage.
+	StageExecuted []uint64
+	RegReads      []uint64
+	RegWrites     []uint64
+	RegFaults     []uint64
+}
+
+// NewExecStats returns a sink sized for a pipeline of numStages stages.
+func NewExecStats(numStages int) *ExecStats {
+	s := &ExecStats{}
+	s.ensure(numStages)
+	return s
+}
+
+func (s *ExecStats) ensure(n int) {
+	if len(s.StageExecuted) < n {
+		s.StageExecuted = make([]uint64, n)
+		s.RegReads = make([]uint64, n)
+		s.RegWrites = make([]uint64, n)
+		s.RegFaults = make([]uint64, n)
+	}
+}
+
+// Reset zeroes the sink in place, keeping its slices.
+func (s *ExecStats) Reset() {
+	s.PacketsIn, s.PacketsDropped, s.Recirculations = 0, 0, 0
+	for i := range s.StageExecuted {
+		s.StageExecuted[i] = 0
+		s.RegReads[i] = 0
+		s.RegWrites[i] = 0
+		s.RegFaults[i] = 0
+	}
+}
+
+// Merge adds o into s.
+func (s *ExecStats) Merge(o *ExecStats) {
+	s.ensure(len(o.StageExecuted))
+	s.PacketsIn += o.PacketsIn
+	s.PacketsDropped += o.PacketsDropped
+	s.Recirculations += o.Recirculations
+	for i := range o.StageExecuted {
+		s.StageExecuted[i] += o.StageExecuted[i]
+		s.RegReads[i] += o.RegReads[i]
+		s.RegWrites[i] += o.RegWrites[i]
+		s.RegFaults[i] += o.RegFaults[i]
+	}
+}
+
+// FlushInto drains the sink into the device's legacy counter fields (device
+// totals, per-stage Executed, register-array access counters) and resets it.
+// Callers must hold exclusive access to the device's counters: the compat
+// Exec path (single-threaded by construction) or a lane merge after joining
+// the worker goroutines.
+func (s *ExecStats) FlushInto(d *Device) {
+	d.PacketsIn += s.PacketsIn
+	d.PacketsDropped += s.PacketsDropped
+	d.Recirculations += s.Recirculations
+	for i := range s.StageExecuted {
+		if i >= len(d.stages) {
+			break
+		}
+		st := d.stages[i]
+		st.Executed += s.StageExecuted[i]
+		st.Registers.Reads += s.RegReads[i]
+		st.Registers.Writes += s.RegWrites[i]
+		st.Registers.Faults += s.RegFaults[i]
+	}
+	s.Reset()
+}

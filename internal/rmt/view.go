@@ -1,0 +1,105 @@
+package rmt
+
+import "sort"
+
+// This file implements the data-plane side of the control/data split: an
+// immutable, epoch-published snapshot of every table the per-packet path
+// reads. On the Tofino the pipeline executes from pre-compiled match-action
+// state while the controller mutates tables out-of-band; here the same
+// separation is a PipeView swapped atomically on every control-plane commit.
+// Packet execution loads the pointer once at pipeline entry, so a packet
+// observes one consistent view for its whole traversal and the control plane
+// can mutate the builder tables (TCAM, translation maps) freely in parallel.
+//
+// The builder state (TCAM, Stage.xlate) stays authoritative for the control
+// plane; RebuildView re-derives the view from it. Views are never mutated
+// after publication.
+
+// StageView is the immutable per-stage slice of a PipeView: the protection
+// regions and translation entries of one physical stage, frozen at publish
+// time.
+type StageView struct {
+	prot  map[uint16]Region
+	xlate map[uint16]Translate
+	// byLo holds the same regions sorted by Lo for owner attribution
+	// (fault reporting binary-searches it instead of iterating a map).
+	byLo []Region
+}
+
+// Allowed reports whether fid may access addr in this stage under the view.
+func (v *StageView) Allowed(fid uint16, addr uint32) bool {
+	r, ok := v.prot[fid]
+	return ok && addr >= r.Lo && addr < r.Hi
+}
+
+// Region returns fid's protected region in this stage under the view.
+func (v *StageView) Region(fid uint16) (Region, bool) {
+	r, ok := v.prot[fid]
+	return r, ok
+}
+
+// Translate returns fid's translation entry in this stage under the view.
+func (v *StageView) Translate(fid uint16) (Translate, bool) {
+	t, ok := v.xlate[fid]
+	return t, ok
+}
+
+// Owner returns the FID whose region covers addr, if any — the fault
+// attribution lookup.
+func (v *StageView) Owner(addr uint32) (uint16, bool) {
+	i := sort.Search(len(v.byLo), func(i int) bool { return v.byLo[i].Lo > addr })
+	// Regions are disjoint under the allocator's invariants, but the view
+	// tolerates overlap: scan leftward until a covering region is found.
+	for j := i - 1; j >= 0; j-- {
+		if r := v.byLo[j]; addr >= r.Lo && addr < r.Hi {
+			return r.FID, true
+		}
+	}
+	return 0, false
+}
+
+// Regions returns the view's regions sorted by base address. The slice is
+// part of the immutable view: callers must not modify it.
+func (v *StageView) Regions() []Region { return v.byLo }
+
+// PipeView is one published snapshot of the full pipeline's protection and
+// translation state. It is immutable after publication; readers may share it
+// across goroutines without synchronization.
+type PipeView struct {
+	stages []*StageView
+	// Gen is the publication generation, monotonically increasing. Tests
+	// and the snapshot-ordering assertions use it to prove which view a
+	// packet executed under.
+	Gen uint64
+}
+
+// StageView returns the view of physical stage i.
+func (v *PipeView) StageView(i int) *StageView { return v.stages[i] }
+
+// RebuildView derives a fresh immutable view from the current TCAM and
+// translation tables and publishes it. The caller (the runtime's commit
+// path) invokes it once per allocation/eviction commit — never per packet.
+func (d *Device) RebuildView() *PipeView {
+	v := &PipeView{stages: make([]*StageView, len(d.stages)), Gen: d.viewGen.Add(1)}
+	for i, st := range d.stages {
+		regions := st.Prot.Regions()
+		sv := &StageView{
+			prot:  make(map[uint16]Region, len(regions)),
+			xlate: make(map[uint16]Translate, len(st.xlate)),
+			byLo:  regions,
+		}
+		for _, r := range regions {
+			sv.prot[r.FID] = r
+		}
+		sort.Slice(sv.byLo, func(a, b int) bool { return sv.byLo[a].Lo < sv.byLo[b].Lo })
+		for f, t := range st.xlate {
+			sv.xlate[f] = t
+		}
+		v.stages[i] = sv
+	}
+	d.view.Store(v)
+	return v
+}
+
+// View returns the current published pipeline view.
+func (d *Device) View() *PipeView { return d.view.Load() }

@@ -94,12 +94,16 @@ func (r *Runtime) installActions(d *rmt.Device) {
 
 		// Memory access: protection first, then the stateful-ALU
 		// micro-program. MEM_READ/MEM_WRITE advance MAR (Section 3.4).
+		// Accesses use the non-counting register accessors and count
+		// through the Ctx sink so lanes never race on the shared counters.
 		isa.OpMemRead: memAction(func(ctx *rmt.Ctx, in isa.Instruction, addr uint32) {
-			ctx.PHV.MBR = ctx.Stage.Registers.Read(addr)
+			ctx.Stats.RegReads[ctx.StageIdx]++
+			ctx.PHV.MBR = ctx.Stage.Registers.Get(addr)
 			ctx.PHV.MAR++
 		}),
 		isa.OpMemWrite: memAction(func(ctx *rmt.Ctx, in isa.Instruction, addr uint32) {
-			ctx.Stage.Registers.Write(addr, ctx.PHV.MBR)
+			ctx.Stats.RegWrites[ctx.StageIdx]++
+			ctx.Stage.Registers.Set(addr, ctx.PHV.MBR)
 			ctx.PHV.MAR++
 		}),
 		isa.OpMemIncrement: memAction(func(ctx *rmt.Ctx, in isa.Instruction, addr uint32) {
@@ -107,16 +111,19 @@ func (r *Runtime) installActions(d *rmt.Device) {
 			if inc == 0 {
 				inc = 1
 			}
-			ctx.PHV.MBR = ctx.Stage.Registers.Increment(addr, inc)
+			ctx.Stats.RegWrites[ctx.StageIdx]++
+			ctx.PHV.MBR = ctx.Stage.Registers.Add(addr, inc)
 		}),
 		isa.OpMemMinRead: memAction(func(ctx *rmt.Ctx, in isa.Instruction, addr uint32) {
-			v := ctx.Stage.Registers.Read(addr)
+			ctx.Stats.RegReads[ctx.StageIdx]++
+			v := ctx.Stage.Registers.Get(addr)
 			if v < ctx.PHV.MBR {
 				ctx.PHV.MBR = v
 			}
 		}),
 		isa.OpMemMinReadInc: memAction(func(ctx *rmt.Ctx, in isa.Instruction, addr uint32) {
-			ctx.PHV.MBR = ctx.Stage.Registers.Increment(addr, 1)
+			ctx.Stats.RegWrites[ctx.StageIdx]++
+			ctx.PHV.MBR = ctx.Stage.Registers.Add(addr, 1)
 			if ctx.PHV.MBR < ctx.PHV.MBR2 {
 				ctx.PHV.MBR2 = ctx.PHV.MBR
 			}
@@ -148,14 +155,15 @@ func (r *Runtime) installActions(d *rmt.Device) {
 			}
 		},
 
-		// Address translation and hashing.
+		// Address translation and hashing. Translation entries come from
+		// the published stage view, never the mutable builder map.
 		isa.OpAddrMask: func(ctx *rmt.Ctx, in isa.Instruction) {
-			if t, ok := ctx.Stage.TranslateFor(ctx.PHV.FID); ok {
+			if t, ok := ctx.View.Translate(ctx.PHV.FID); ok {
 				ctx.PHV.MAR &= t.Mask
 			}
 		},
 		isa.OpAddrOffset: func(ctx *rmt.Ctx, in isa.Instruction) {
-			if t, ok := ctx.Stage.TranslateFor(ctx.PHV.FID); ok {
+			if t, ok := ctx.View.Translate(ctx.PHV.FID); ok {
 				ctx.PHV.MAR += t.Offset
 			}
 		},
@@ -183,17 +191,19 @@ func rts(ctx *rmt.Ctx) {
 // memAction wraps a register micro-program with TCAM protection: a memory
 // access whose MAR falls outside the FID's installed region in this stage is
 // a fault, and the packet is dropped ("packets that fail execution are
-// dropped", Section 4.3).
+// dropped", Section 4.3). The protection check and fault attribution read
+// the published stage view, so the packet sees one consistent protection
+// state for its whole traversal even while the controller mutates tables.
 func memAction(body func(ctx *rmt.Ctx, in isa.Instruction, addr uint32)) rmt.Action {
 	return func(ctx *rmt.Ctx, in isa.Instruction) {
 		addr := ctx.PHV.MAR
-		if !ctx.Stage.Prot.Lookup(ctx.PHV.FID, addr) || !ctx.Stage.Registers.InRange(addr) {
-			ctx.Stage.Registers.Fault()
+		if !ctx.View.Allowed(ctx.PHV.FID, addr) || !ctx.Stage.Registers.InRange(addr) {
+			ctx.Stats.RegFaults[ctx.StageIdx]++
 			ctx.PHV.Dropped = true
 			ctx.PHV.Faulted = true
 			ctx.PHV.FaultAddr = addr
 			ctx.PHV.FaultStage = ctx.StageIdx
-			ctx.PHV.FaultOwner, ctx.PHV.FaultOwned = ctx.Stage.Prot.OwnerOf(addr)
+			ctx.PHV.FaultOwner, ctx.PHV.FaultOwned = ctx.View.Owner(addr)
 			return
 		}
 		body(ctx, in, addr)

@@ -94,16 +94,19 @@ func (r *Runtime) SetPrivilege(fid uint16, mask uint8) {
 	}
 	r.privilege[fid] = mask
 	r.TableOps++
+	r.publish()
 }
 
 // privilegeOf returns the FID's mask; FIDs without an explicit assignment
 // are fully privileged (the paper's deployments assume authenticated edges;
-// privilege levels are the hardening extension).
+// privilege levels are the hardening extension). Reads the published
+// control snapshot, like the rest of the packet path.
 func (r *Runtime) privilegeOf(fid uint16) uint8 {
-	if r.privilege == nil {
+	v := r.view()
+	if !v.hasPriv {
 		return ^uint8(0)
 	}
-	m, ok := r.privilege[fid]
+	m, ok := v.privilege[fid]
 	if !ok {
 		return ^uint8(0)
 	}
@@ -121,17 +124,20 @@ func (r *Runtime) SetMirrorSession(fid uint16, session uint8, port uint32) {
 	}
 	r.mirror[mirrorKey(fid, session)] = port
 	r.TableOps++
+	r.publish()
 }
 
 // ClearMirrorSession removes a session.
 func (r *Runtime) ClearMirrorSession(fid uint16, session uint8) {
 	delete(r.mirror, mirrorKey(fid, session))
 	r.TableOps++
+	r.publish()
 }
 
-// MirrorSession looks up a session's egress port.
+// MirrorSession looks up a session's egress port in the published control
+// snapshot (consulted by the FORK action on the packet path).
 func (r *Runtime) MirrorSession(fid uint16, session uint8) (uint32, bool) {
-	p, ok := r.mirror[mirrorKey(fid, session)]
+	p, ok := r.view().mirror[mirrorKey(fid, session)]
 	return p, ok
 }
 

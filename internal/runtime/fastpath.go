@@ -1,0 +1,308 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"activermt/internal/isa"
+	"activermt/internal/packet"
+	"activermt/internal/rmt"
+)
+
+// This file is the allocation-free packet hot path. ExecuteCapsule performs
+// the same admission checks, PHV construction, pipeline execution, and
+// output encoding as ExecuteProgram, but:
+//
+//   - all per-packet state lives in a reusable ExecResult (pooled PHV,
+//     pooled output capsules, reusable device-output buffer), so the
+//     steady-state loop performs zero heap allocations;
+//   - control state is read exclusively from the published snapshots
+//     (ctrlView + rmt.PipeView), never from the mutable builder maps;
+//   - counters accumulate into a caller-owned ExecSink and guard events are
+//     buffered there, so N lanes can execute concurrently and merge their
+//     accounting under a happens-before edge instead of racing.
+//
+// ExecuteProgram remains the single-threaded compatibility entry point with
+// identical observable behavior; the netsim experiments keep using it so
+// their outputs stay byte-identical.
+
+// GuardEventKind discriminates buffered guard notifications.
+type GuardEventKind uint8
+
+// Guard event kinds, mirroring the GuardHook methods.
+const (
+	GuardEventMemFault GuardEventKind = iota
+	GuardEventRecircThrottled
+	GuardEventRevokedDrop
+)
+
+// GuardEvent is one buffered GuardHook notification. Lanes deliver their
+// buffers on the dispatch thread (at Flush/Stop) so guard state — which is
+// not thread-safe — is only ever touched from one goroutine.
+type GuardEvent struct {
+	Kind  GuardEventKind
+	FID   uint16
+	Stage int
+	Addr  uint32
+	Owner uint16
+	Owned bool
+}
+
+// PathStats mirrors the Runtime's execution counters; the hot path counts
+// here and the owner flushes into the Runtime fields under exclusion.
+// RecircThrottled is absent: RecircAllowed already updates it atomically.
+type PathStats struct {
+	ProgramsRun, Passthrough, Faults uint64
+	PrivSuppressed                   uint64
+	QuarantineDrops, RevokedDrops    uint64
+}
+
+// FlushInto drains the counters into the runtime's legacy fields and resets
+// them. Callers must hold exclusive access to the runtime counters (single
+// mode after each packet, or a lane merge after joining workers).
+func (s *PathStats) FlushInto(r *Runtime) {
+	r.ProgramsRun += s.ProgramsRun
+	r.Passthrough += s.Passthrough
+	r.Faults += s.Faults
+	r.PrivSuppressed += s.PrivSuppressed
+	r.QuarantineDrops += s.QuarantineDrops
+	r.RevokedDrops += s.RevokedDrops
+	*s = PathStats{}
+}
+
+// ExecSink is the per-executor accounting context: path counters, a device
+// counter sink, and buffered guard events. Each lane owns one; the compat
+// path owns one and drains it after every packet.
+type ExecSink struct {
+	Path   PathStats
+	Dev    *rmt.ExecStats
+	Events []GuardEvent
+}
+
+// NewExecSink returns a sink sized for the runtime's pipeline.
+func (r *Runtime) NewExecSink() *ExecSink {
+	return &ExecSink{Dev: rmt.NewExecStats(r.dev.NumStages())}
+}
+
+// DeliverEvents replays the buffered guard events into the installed
+// GuardHook (single-threaded callers only) and clears the buffer.
+func (r *Runtime) DeliverEvents(sink *ExecSink) {
+	if r.guard != nil {
+		for _, ev := range sink.Events {
+			switch ev.Kind {
+			case GuardEventMemFault:
+				r.guard.MemFault(ev.FID, ev.Stage, ev.Addr, ev.Owner, ev.Owned)
+			case GuardEventRecircThrottled:
+				r.guard.RecircThrottled(ev.FID)
+			case GuardEventRevokedDrop:
+				r.guard.RevokedDrop(ev.FID)
+			}
+		}
+	}
+	sink.Events = sink.Events[:0]
+}
+
+// outSlot is one reusable output capsule: the Active, its Program, and the
+// Output envelope all have stable addresses across reuse.
+type outSlot struct {
+	out  Output
+	act  packet.Active
+	prog isa.Program
+}
+
+// ExecResult holds every piece of per-packet scratch state the fast path
+// needs: a pooled PHV, the device output buffer, and reusable output
+// capsules. Outputs are valid until the next ExecuteCapsule call with the
+// same ExecResult; callers that need to retain an output must copy it.
+type ExecResult struct {
+	Outputs []*Output
+
+	phv     *rmt.PHV
+	devOuts []*rmt.PHV
+	slots   []*outSlot
+}
+
+// NewExecResult returns an ExecResult ready for ExecuteCapsule.
+func NewExecResult() *ExecResult {
+	return &ExecResult{phv: &rmt.PHV{}}
+}
+
+var execResultPool = sync.Pool{New: func() any { return NewExecResult() }}
+
+// GetExecResult takes an ExecResult from the package pool.
+func GetExecResult() *ExecResult { return execResultPool.Get().(*ExecResult) }
+
+// PutExecResult returns an ExecResult to the pool. The caller must not
+// retain any Output obtained from it.
+func PutExecResult(res *ExecResult) {
+	res.Outputs = res.Outputs[:0]
+	execResultPool.Put(res)
+}
+
+// slot returns reusable output slot i, growing the slot table on first use.
+func (res *ExecResult) slot(i int) *outSlot {
+	for len(res.slots) <= i {
+		res.slots = append(res.slots, &outSlot{})
+	}
+	return res.slots[i]
+}
+
+// addOutput appends a prepared slot's Output.
+func (res *ExecResult) addOutput(s *outSlot) { res.Outputs = append(res.Outputs, &s.out) }
+
+// ExecuteCapsule runs one program capsule through the pipeline with all
+// scratch state drawn from res and all accounting routed into sink. It is
+// the allocation-free equivalent of ExecuteProgram: admission checks read
+// the published control snapshot, the PHV and output capsules are reused,
+// and guard notifications are buffered in the sink instead of delivered
+// inline.
+//
+// Unlike ExecuteProgram, refused packets (revoked/quarantined/throttled) do
+// not mutate the input capsule's flags: the FlagFailed marking is applied to
+// the copied output capsule, which is what goes on the wire. The input may
+// therefore be a pooled buffer reused by the caller.
+func (r *Runtime) ExecuteCapsule(a *packet.Active, res *ExecResult, sink *ExecSink) {
+	res.Outputs = res.Outputs[:0]
+	lat := r.dev.Config().PassLatency
+	if a.Program == nil {
+		s := res.slot(0)
+		s.out = Output{Active: a, Latency: lat}
+		res.addOutput(s)
+		return
+	}
+	cv := r.view()
+	fid := a.Header.FID
+	if cv.revoked[fid] {
+		sink.Path.RevokedDrops++
+		sink.Events = append(sink.Events, GuardEvent{Kind: GuardEventRevokedDrop, FID: fid})
+		res.hardDrop(a, lat)
+		return
+	}
+	if !cv.admitted[fid] {
+		sink.Path.Passthrough++
+		s := res.slot(0)
+		s.out = Output{Active: a, Latency: lat}
+		res.addOutput(s)
+		return
+	}
+	if cv.quarantined[fid] && a.Header.Flags&packet.FlagMemSync == 0 {
+		sink.Path.QuarantineDrops++
+		res.hardDrop(a, lat)
+		return
+	}
+	if !r.RecircAllowed(fid, a.Program.Len()) {
+		sink.Events = append(sink.Events, GuardEvent{Kind: GuardEventRecircThrottled, FID: fid})
+		res.hardDrop(a, lat)
+		return
+	}
+	sink.Path.ProgramsRun++
+
+	phv := res.phv
+	phv.Reset()
+	phv.FID = fid
+	phv.Data = a.Args
+	phv.Instrs = append(phv.Instrs[:0], a.Program.Instrs...)
+	if a.Header.Flags&packet.FlagPreload != 0 {
+		phv.MAR = a.Args[2]
+		phv.MBR = a.Args[0]
+	}
+	r.applyPrivilegeInto(cv, phv, &sink.Path)
+	if tup, ok := packet.ParseFiveTuple(a.Payload); ok {
+		phv.TupleWords = tup.WordsArray()
+	}
+
+	res.devOuts = r.dev.ExecInto(phv, res.devOuts[:0], sink.Dev)
+	for i, p := range res.devOuts {
+		if p.Faulted {
+			sink.Path.Faults++
+			sink.Events = append(sink.Events, GuardEvent{
+				Kind: GuardEventMemFault, FID: fid,
+				Stage: p.FaultStage, Addr: p.FaultAddr,
+				Owner: p.FaultOwner, Owned: p.FaultOwned,
+			})
+		}
+		s := res.slot(i)
+		r.encodeOutputInto(a, p, s)
+		res.addOutput(s)
+	}
+}
+
+// hardDrop fills slot 0 with the dropped-with-FlagFailed output for packets
+// refused before execution. The input capsule is shallow-copied into the
+// slot and the failure flag set on the copy, so pooled inputs are never
+// mutated; the copy shares the input's Program and Payload, which is fine
+// for an output that is only read until the next ExecuteCapsule call.
+func (res *ExecResult) hardDrop(a *packet.Active, lat time.Duration) {
+	s := res.slot(0)
+	s.act = *a
+	s.act.Header.Flags |= packet.FlagFailed
+	s.out = Output{Active: &s.act, Dropped: true, Latency: lat}
+	res.addOutput(s)
+}
+
+// applyPrivilegeInto is applyPrivilege against an explicit control view and
+// counter sink.
+func (r *Runtime) applyPrivilegeInto(cv *ctrlView, p *rmt.PHV, ps *PathStats) {
+	mask := ^uint8(0)
+	if cv.hasPriv {
+		if m, ok := cv.privilege[p.FID]; ok {
+			mask = m
+		}
+	}
+	if mask&PrivForwarding != 0 {
+		return
+	}
+	for i := range p.Instrs {
+		switch p.Instrs[i].Op {
+		case isa.OpSetDst, isa.OpFork, isa.OpDrop:
+			p.Instrs[i].Op = isa.OpNop
+			ps.PrivSuppressed++
+		}
+	}
+}
+
+// encodeOutputInto rebuilds an output capsule from a post-execution PHV into
+// the reusable slot, shrinking executed instruction headers unless the
+// program opted out — the zero-allocation twin of encodeOutput.
+func (r *Runtime) encodeOutputInto(in *packet.Active, p *rmt.PHV, s *outSlot) {
+	hdr := in.Header
+	hdr.Flags |= packet.FlagFromSwch
+	if p.Complete {
+		hdr.Flags |= packet.FlagDone
+	}
+	if p.ToSender {
+		hdr.Flags |= packet.FlagRTS
+	}
+	if p.Dropped {
+		hdr.Flags |= packet.FlagFailed
+	}
+
+	s.prog.Name = in.Program.Name
+	s.prog.Instrs = s.prog.Instrs[:0]
+	noShrink := in.Header.Flags&packet.FlagNoShrink != 0
+	for _, instr := range p.Instrs {
+		if instr.Executed && !noShrink {
+			continue
+		}
+		s.prog.Instrs = append(s.prog.Instrs, instr)
+	}
+
+	s.act = packet.Active{
+		Header:  hdr,
+		Args:    p.Data,
+		Program: &s.prog,
+		Payload: in.Payload,
+	}
+	s.act.Header.SetType(packet.TypeProgram)
+	s.out = Output{
+		Active:   &s.act,
+		ToSender: p.ToSender,
+		DstSet:   p.DstSet,
+		Dst:      p.Dst,
+		Dropped:  p.Dropped,
+		IsClone:  p.IsClone,
+		Executed: true,
+		Latency:  p.Latency,
+		Passes:   p.Passes,
+	}
+}

@@ -1,0 +1,254 @@
+package runtime
+
+import (
+	"fmt"
+	gort "runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"activermt/internal/packet"
+)
+
+// sched yields the processor while a quiesce spin-waits for lane drains.
+func sched() { gort.Gosched() }
+
+// Lanes is the parallel multi-lane dataplane: N worker goroutines, each
+// owning a block-aligned stripe of every stage's register array, executing
+// capsules concurrently against the published pipeline snapshots.
+//
+// Safety model (why this is race-free without per-word locks):
+//
+//   - Every admitted tenant is pinned to exactly one lane (see
+//     RefreshRoutes): each lane owns the block-aligned stripes of the
+//     tenants dealt to it. Regions of distinct tenants are disjoint (the
+//     allocator's isolation invariant), so every register word has at most
+//     one writing lane: single-writer, no locks. Tenants without memory
+//     (and unadmitted FIDs) are spread by flow hash; they touch no words.
+//   - The hot path reads only the immutable published snapshots (ctrlView,
+//     rmt.PipeView), swapped atomically by the controller thread.
+//   - Counters accumulate in per-lane ExecSinks; guard events are buffered.
+//     Both merge into the runtime's legacy fields at Stop, under the
+//     happens-before edge of the goroutine join.
+//
+// Control-plane rule: operations that WRITE register words (InstallGrant
+// zeroes the granted region) require Quiesce() first — drain in-flight
+// packets, commit, then resume dispatching. Operations that only retract
+// state (RemoveGrant, Deactivate) are safe mid-stream: packets already in a
+// lane executed against the old published view (exactly the semantics of a
+// table swap on hardware), and packets dispatched after the commit see the
+// new one.
+//
+// The single-threaded deterministic mode (ExecuteProgram, used by netsim
+// experiments and chaos scenarios) remains the default; Lanes is the
+// throughput mode behind `activebench -lanes N`.
+type Lanes struct {
+	rt *Runtime
+	n  int
+
+	chans   []chan []*packet.Active
+	free    chan []*packet.Active
+	workers []*laneWorker
+	wg      sync.WaitGroup
+
+	// routes pins admitted FIDs to lanes; rebuilt from the published
+	// pipeline view on Start and RefreshRoutes.
+	routes map[uint16]int
+
+	batches   [][]*packet.Active // per-lane batch being filled by Dispatch
+	batchSize int
+
+	dispatched atomic.Uint64
+	processed  atomic.Uint64
+	stopped    bool
+
+	// Sink, if set, receives every output on the worker goroutine that
+	// produced it. The *Output is only valid for the duration of the call.
+	Sink func(lane int, out *Output)
+}
+
+type laneWorker struct {
+	id   int
+	res  *ExecResult
+	sink *ExecSink
+}
+
+// DefaultLaneBatch is the dispatch batch size: large enough to amortize
+// channel synchronization, small enough to keep lanes busy under skew.
+const DefaultLaneBatch = 128
+
+// NewLanes starts n worker lanes over the runtime. The runtime must have a
+// nil device trace hook, and the caller must route all control-plane
+// operations through the same goroutine that calls Dispatch/Quiesce/Stop.
+func (r *Runtime) NewLanes(n int) (*Lanes, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("runtime: lane count %d < 1", n)
+	}
+	l := &Lanes{
+		rt:        r,
+		n:         n,
+		chans:     make([]chan []*packet.Active, n),
+		free:      make(chan []*packet.Active, 4*n+4),
+		workers:   make([]*laneWorker, n),
+		batches:   make([][]*packet.Active, n),
+		batchSize: DefaultLaneBatch,
+		routes:    make(map[uint16]int),
+	}
+	for i := 0; i < n; i++ {
+		l.chans[i] = make(chan []*packet.Active, 4)
+		l.batches[i] = make([]*packet.Active, 0, l.batchSize)
+		w := &laneWorker{id: i, res: NewExecResult(), sink: r.NewExecSink()}
+		l.workers[i] = w
+		l.wg.Add(1)
+		go l.runLane(w)
+	}
+	l.RefreshRoutes()
+	return l, nil
+}
+
+// N returns the lane count.
+func (l *Lanes) N() int { return l.n }
+
+// RefreshRoutes recomputes the FID→lane pinning from the published pipeline
+// view. Call after control-plane commits that add tenants (NewLanes and
+// Quiesce call it automatically).
+//
+// Pinning walks the tenants in base-address order and deals them to lanes
+// round-robin: each lane ends up owning the block-aligned stripes (the
+// allocator grants whole blocks) of every tenant dealt to it, and the deal
+// stays balanced whether the allocator packed tenants into the low blocks or
+// spread them elastically across the stage. Any deterministic tenant→lane map
+// preserves the single-writer invariant — tenant regions are disjoint, so a
+// word is only ever written by its owner's one lane — the deal order is
+// purely a load-balancing choice.
+func (l *Lanes) RefreshRoutes() {
+	for fid := range l.routes {
+		delete(l.routes, fid)
+	}
+	type anchor struct {
+		fid   uint16
+		lo    uint32
+		stage int
+	}
+	var tenants []anchor
+	seen := make(map[uint16]bool)
+	v := l.rt.dev.View()
+	for s := 0; s < l.rt.dev.NumStages(); s++ {
+		sv := v.StageView(s)
+		for _, reg := range sv.Regions() {
+			if !seen[reg.FID] {
+				seen[reg.FID] = true
+				tenants = append(tenants, anchor{fid: reg.FID, lo: reg.Lo, stage: s})
+			}
+		}
+	}
+	sort.Slice(tenants, func(i, j int) bool {
+		if tenants[i].lo != tenants[j].lo {
+			return tenants[i].lo < tenants[j].lo
+		}
+		if tenants[i].stage != tenants[j].stage {
+			return tenants[i].stage < tenants[j].stage
+		}
+		return tenants[i].fid < tenants[j].fid
+	})
+	for i, t := range tenants {
+		l.routes[t.fid] = i % l.n
+	}
+}
+
+// Dispatch queues a capsule for execution. Tenants with installed memory go
+// to their pinned lane; everything else spreads by flowHash. The capsule is
+// owned by the lane until its outputs have been delivered; with a pooled
+// capsule, recycle it only after Quiesce or Stop.
+func (l *Lanes) Dispatch(a *packet.Active, flowHash uint32) {
+	lane, ok := l.routes[a.Header.FID]
+	if !ok {
+		lane = int(flowHash % uint32(l.n))
+	}
+	b := l.batches[lane]
+	b = append(b, a)
+	if len(b) >= l.batchSize {
+		l.sendBatch(lane, b)
+		b = l.nextBatch()
+	}
+	l.batches[lane] = b
+}
+
+func (l *Lanes) sendBatch(lane int, b []*packet.Active) {
+	l.dispatched.Add(uint64(len(b)))
+	l.chans[lane] <- b
+}
+
+func (l *Lanes) nextBatch() []*packet.Active {
+	select {
+	case b := <-l.free:
+		return b[:0]
+	default:
+		return make([]*packet.Active, 0, l.batchSize)
+	}
+}
+
+// Flush pushes all partially filled batches to their lanes.
+func (l *Lanes) Flush() {
+	for lane, b := range l.batches {
+		if len(b) > 0 {
+			l.sendBatch(lane, b)
+			l.batches[lane] = l.nextBatch()
+		}
+	}
+}
+
+// Quiesce drains the lanes: it flushes pending batches, waits until every
+// dispatched capsule has been processed, and refreshes lane routes. After
+// Quiesce returns, no worker is touching register words, so the caller may
+// perform word-writing control operations (InstallGrant) before dispatching
+// again.
+func (l *Lanes) Quiesce() {
+	l.Flush()
+	for l.processed.Load() != l.dispatched.Load() {
+		// Busy-wait with yields: drains are short (bounded by channel
+		// depth × batch size) and Quiesce is a control-plane operation.
+		sched()
+	}
+	l.RefreshRoutes()
+}
+
+// Stop drains and joins the lanes, then merges every lane's counters and
+// buffered guard events into the runtime and device under the join's
+// happens-before edge. The Lanes value is dead afterwards.
+func (l *Lanes) Stop() {
+	if l.stopped {
+		return
+	}
+	l.stopped = true
+	l.Flush()
+	for _, ch := range l.chans {
+		close(ch)
+	}
+	l.wg.Wait()
+	for _, w := range l.workers {
+		w.sink.Path.FlushInto(l.rt)
+		w.sink.Dev.FlushInto(l.rt.dev)
+		l.rt.DeliverEvents(w.sink)
+	}
+}
+
+func (l *Lanes) runLane(w *laneWorker) {
+	defer l.wg.Done()
+	for batch := range l.chans[w.id] {
+		for _, a := range batch {
+			l.rt.ExecuteCapsule(a, w.res, w.sink)
+			if l.Sink != nil {
+				for _, out := range w.res.Outputs {
+					l.Sink(w.id, out)
+				}
+			}
+		}
+		n := uint64(len(batch))
+		select {
+		case l.free <- batch[:0]:
+		default:
+		}
+		l.processed.Add(n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"activermt/internal/isa"
@@ -61,6 +62,11 @@ type Runtime struct {
 	privilege    map[uint16]uint8
 	mirror       map[uint32]uint32
 
+	// snap is the published control-state snapshot the packet path and
+	// ingress guard read (see snapshot.go); snapGen numbers publications.
+	snap    atomic.Pointer[ctrlView]
+	snapGen uint64
+
 	// Stats for the experiment harness.
 	ProgramsRun, Passthrough, Faults uint64
 	RecircThrottled, PrivSuppressed  uint64
@@ -101,29 +107,28 @@ func New(cfg rmt.Config) (*Runtime, error) {
 		revoked:     make(map[uint16]bool),
 	}
 	r.installActions(dev)
+	r.publish()
 	return r, nil
 }
 
 // Device exposes the underlying device (for controllers and tests).
 func (r *Runtime) Device() *rmt.Device { return r.dev }
 
-// Admitted reports whether fid has been admitted.
-func (r *Runtime) Admitted(fid uint16) bool {
-	_, ok := r.admitted[fid]
-	return ok
-}
+// Admitted reports whether fid has been admitted, per the published
+// control snapshot (the same state the packet path executes against).
+func (r *Runtime) Admitted(fid uint16) bool { return r.view().admitted[fid] }
 
 // Quarantined reports whether fid's packets are currently deactivated.
-func (r *Runtime) Quarantined(fid uint16) bool { return r.quarantined[fid] }
+func (r *Runtime) Quarantined(fid uint16) bool { return r.view().quarantined[fid] }
 
 // Revoked reports whether fid once held a grant that has been removed (and
 // has not been re-admitted since).
-func (r *Runtime) Revoked(fid uint16) bool { return r.revoked[fid] }
+func (r *Runtime) Revoked(fid uint16) bool { return r.view().revoked[fid] }
 
 // Epoch returns fid's current grant epoch (0: no grant ever installed).
 // Allocation responses carry it to the client, program capsules echo it
 // back, and the guard drops capsules whose echo is stale.
-func (r *Runtime) Epoch(fid uint16) uint8 { return r.epochs[fid] }
+func (r *Runtime) Epoch(fid uint16) uint8 { return r.view().epochs[fid] }
 
 // NextEpoch returns the epoch the next grant installation will assign —
 // what the controller stamps into reallocation notices sent before the
@@ -150,12 +155,14 @@ func (r *Runtime) bumpEpoch(fid uint16) {
 func (r *Runtime) Deactivate(fid uint16) {
 	r.quarantined[fid] = true
 	r.TableOps++
+	r.publish()
 }
 
 // Reactivate resumes execution of fid's programs.
 func (r *Runtime) Reactivate(fid uint16) {
 	delete(r.quarantined, fid)
 	r.TableOps++
+	r.publish()
 }
 
 // InstallGrant installs (or replaces) the protection and translation entries
@@ -168,6 +175,13 @@ func (r *Runtime) InstallGrant(g Grant) (int, error) {
 	if old, ok := r.admitted[g.FID]; ok {
 		ops += r.removeRecord(g.FID, old)
 	}
+	// Every return path below republishes: the TCAM and translation tables
+	// have been touched (install or rollback), and packets must only ever
+	// execute against a fully committed view.
+	defer func() {
+		r.dev.RebuildView()
+		r.publish()
+	}()
 	rec := &grantRecord{}
 	prevLogical := -1
 	for _, a := range g.Accesses {
@@ -231,6 +245,7 @@ func (r *Runtime) AdmitStateless(fid uint16) {
 		r.admitted[fid] = &grantRecord{}
 		r.bumpEpoch(fid)
 		r.TableOps++
+		r.publish()
 	}
 }
 
@@ -246,6 +261,8 @@ func (r *Runtime) RemoveGrant(fid uint16) int {
 	delete(r.quarantined, fid)
 	r.revoked[fid] = true
 	r.TableOps += uint64(ops)
+	r.dev.RebuildView()
+	r.publish()
 	return ops
 }
 
@@ -301,7 +318,7 @@ func (r *Runtime) ExecuteProgram(a *packet.Active) []*Output {
 	}
 	fid := a.Header.FID
 	memsync := a.Header.Flags&packet.FlagMemSync != 0
-	if r.revoked[fid] {
+	if r.Revoked(fid) {
 		r.RevokedDrops++
 		if r.guard != nil {
 			r.guard.RevokedDrop(fid)

@@ -1,0 +1,82 @@
+package runtime
+
+// This file implements the control side of the control/data split: every
+// piece of admission state the packet path consults — admitted FIDs,
+// quarantine and revocation marks, grant epochs, privilege masks, mirror
+// sessions — is collected into one immutable ctrlView and republished via
+// atomic.Pointer on every control-plane commit. The hot path (and the
+// ingress guard) reads the published view; the mutable maps on Runtime stay
+// authoritative for the control plane only.
+//
+// Together with rmt.PipeView (protection + translation) this forms the
+// epoch-published pipeline snapshot: a controller commit is "visible" to
+// packets exactly when publish() swaps the pointers, never halfway through
+// a multi-table update.
+
+// ctrlView is one immutable published snapshot of the runtime's admission
+// state. All maps are copies; readers may share a view across goroutines.
+type ctrlView struct {
+	admitted    map[uint16]bool
+	quarantined map[uint16]bool
+	revoked     map[uint16]bool
+	epochs      map[uint16]uint8
+	privilege   map[uint16]uint8
+	hasPriv     bool // privilege table enabled at all
+	mirror      map[uint32]uint32
+	gen         uint64
+}
+
+var emptyCtrlView = &ctrlView{}
+
+// view returns the current published control snapshot (never nil).
+func (r *Runtime) view() *ctrlView {
+	if v := r.snap.Load(); v != nil {
+		return v
+	}
+	return emptyCtrlView
+}
+
+// publish rebuilds the control snapshot from the builder maps and swaps it
+// in. Every mutator of admission state must call it (once, after the full
+// mutation) so packets never observe a half-applied commit.
+func (r *Runtime) publish() {
+	r.snapGen++
+	v := &ctrlView{
+		admitted:    make(map[uint16]bool, len(r.admitted)),
+		quarantined: make(map[uint16]bool, len(r.quarantined)),
+		revoked:     make(map[uint16]bool, len(r.revoked)),
+		epochs:      make(map[uint16]uint8, len(r.epochs)),
+		hasPriv:     r.privilege != nil,
+		gen:         r.snapGen,
+	}
+	for f := range r.admitted {
+		v.admitted[f] = true
+	}
+	for f, q := range r.quarantined {
+		v.quarantined[f] = q
+	}
+	for f, rv := range r.revoked {
+		v.revoked[f] = rv
+	}
+	for f, e := range r.epochs {
+		v.epochs[f] = e
+	}
+	if r.privilege != nil {
+		v.privilege = make(map[uint16]uint8, len(r.privilege))
+		for f, m := range r.privilege {
+			v.privilege[f] = m
+		}
+	}
+	if r.mirror != nil {
+		v.mirror = make(map[uint32]uint32, len(r.mirror))
+		for k, p := range r.mirror {
+			v.mirror[k] = p
+		}
+	}
+	r.snap.Store(v)
+}
+
+// SnapshotGen returns the generation of the current published control view
+// (0 before the first publication) — used by tests to prove publication
+// ordering.
+func (r *Runtime) SnapshotGen() uint64 { return r.view().gen }

@@ -331,6 +331,7 @@ func (c *Controller) runEviction(fid uint16) {
 		changed = nil // stateless or unknown to the books: nothing to expand
 	}
 	rec.TableOps += c.rt.RemoveGrant(fid)
+	c.sw.cache.Invalidate(fid)
 	c.GuardEvictions++
 	if mac, ok := c.clients[fid]; ok {
 		notice := &packet.Active{Header: packet.ActiveHeader{
@@ -489,6 +490,7 @@ func (c *Controller) release(fid uint16) {
 	if err != nil {
 		if c.rt.Admitted(fid) { // stateless service: nothing allocated
 			rec.TableOps += c.rt.RemoveGrant(fid)
+			c.sw.cache.Invalidate(fid)
 			c.reallocPhase(rec, nil, nil, true)
 			return
 		}
@@ -497,6 +499,7 @@ func (c *Controller) release(fid uint16) {
 		return
 	}
 	rec.TableOps += c.rt.RemoveGrant(fid)
+	c.sw.cache.Invalidate(fid)
 	rec.Reallocated = len(changed)
 	c.reallocPhase(rec, nil, changed, true)
 }
@@ -566,6 +569,7 @@ func (c *Controller) runSweep() {
 			// Cannot re-place around the damage: evict the app entirely
 			// and tell the client, which restarts its lifecycle.
 			rec.TableOps += c.rt.RemoveGrant(fid)
+			c.sw.cache.Invalidate(fid)
 			evicted = append(evicted, fid)
 			continue
 		}
@@ -676,6 +680,7 @@ func (c *Controller) applyPhase(rec ProvisionRecord, newPl *alloc.Placement, cha
 	for _, pl := range changed {
 		n, err := c.rt.InstallGrant(grantFor(pl))
 		ops += n
+		c.sw.cache.Invalidate(pl.FID)
 		if err != nil {
 			// TCAM exhaustion mid-update: surface as failure for the
 			// newcomer but keep existing apps running.
@@ -687,6 +692,7 @@ func (c *Controller) applyPhase(rec ProvisionRecord, newPl *alloc.Placement, cha
 		n, err := c.rt.InstallGrant(grantFor(newPl))
 		ops += n
 		installErr = err
+		c.sw.cache.Invalidate(newPl.FID)
 	}
 	rec.TableOps = ops
 	rec.TableTime = time.Duration(ops) * c.costs.TableOp

@@ -22,6 +22,7 @@ type Switch struct {
 	rt    *runtime.Runtime
 	ctrl  *Controller
 	guard *guard.Guard
+	cache *packet.ProgCache
 
 	mac   packet.MAC
 	ports map[int]*netsim.Port
@@ -39,6 +40,7 @@ func NewSwitch(eng *netsim.Engine, rt *runtime.Runtime, mac packet.MAC) *Switch 
 		eng:   eng,
 		rt:    rt,
 		mac:   mac,
+		cache: packet.NewProgCache(0),
 		ports: make(map[int]*netsim.Port),
 		hosts: make(map[packet.MAC]int),
 	}
@@ -52,6 +54,11 @@ func (s *Switch) SetGuard(g *guard.Guard) { s.guard = g }
 
 // Guard returns the installed guard, if any.
 func (s *Switch) Guard() *guard.Guard { return s.guard }
+
+// ProgCache returns the switch's decoded-program cache. The controller
+// invalidates a tenant's entries when its grant changes; epoch keying already
+// orphans stale versions, so invalidation is memory hygiene.
+func (s *Switch) ProgCache() *packet.ProgCache { return s.cache }
 
 // Runtime exposes the data-plane runtime.
 func (s *Switch) Runtime() *runtime.Runtime { return s.rt }
@@ -69,7 +76,9 @@ func (s *Switch) AddPort(p *netsim.Port, host packet.MAC) {
 // Receive implements netsim.Endpoint: the switch pipeline entry point.
 func (s *Switch) Receive(frame []byte, port *netsim.Port) {
 	s.FramesIn++
-	f, err := packet.DecodeFrame(frame)
+	// Program capsules decode through the cache: one ISA decode + structural
+	// validation per program version, parse-once for the guard downstream.
+	f, err := packet.DecodeFrameCached(frame, s.cache)
 	if err != nil {
 		s.FramesDropped++
 		return

@@ -2,6 +2,7 @@ package testbed
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -9,6 +10,8 @@ import (
 	"activermt/internal/chaos"
 	"activermt/internal/client"
 	"activermt/internal/guard"
+	"activermt/internal/isa"
+	"activermt/internal/packet"
 )
 
 // victimWorkload populates the cache with 16 hot objects out of 64 and
@@ -342,5 +345,124 @@ func TestAdversarialTenantScenario(t *testing.T) {
 	}
 	if adv.Sent == 0 {
 		t.Error("adversary sent nothing")
+	}
+}
+
+// TestEvictionSnapshotOrdering is the snapshot-publication-ordering test for
+// the control/data split: a tenant evicted in the middle of a packet burst
+// must never have a packet served by a stale translation. Every capsule
+// records which published pipeline view it executed under; a capsule may
+// write its word if and only if that view still contained the tenant's
+// region — and once a view without the tenant is published, no later capsule
+// writes again.
+func TestEvictionSnapshotOrdering(t *testing.T) {
+	tb, srv, _, victimCl := setupVictim(t)
+	_, attCl := addCache(t, tb, 2, srv, [4]byte{})
+	attCl.ReadmitAfter = 0 // stay evicted for the rest of the run
+	if err := attCl.RequestAllocation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitOperational(attCl, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if victimCl.State() != client.Operational {
+		if err := tb.WaitOperational(victimCl, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dev := tb.RT.Device()
+	regions := tb.RT.InstalledRegions(2)
+	if len(regions) == 0 {
+		t.Fatal("tenant 2 has no installed regions")
+	}
+	stage := -1
+	var lo uint32
+	for s, reg := range regions {
+		if stage == -1 || s < stage {
+			stage, lo = s, reg.Lo
+		}
+	}
+	addr := lo + 3
+	if _, ok := dev.View().StageView(stage).Region(2); !ok {
+		t.Fatal("published view lacks tenant 2's region pre-eviction")
+	}
+	genBefore := dev.View().Gen
+
+	// A raw write capsule landing MEM_WRITE exactly on `stage`: MAR and MBR
+	// arrive via FlagPreload (MAR=args[2]=addr, MBR=args[0]=value).
+	writer := isa.MustAssemble("evict-writer",
+		strings.Repeat("NOP\n", stage)+"MEM_WRITE\nRETURN")
+	word := func() uint32 { return dev.Stage(stage).Registers.Get(addr) }
+
+	type obs struct {
+		gen     uint64 // view generation the capsule executed under
+		viewHas bool   // that view still contained tenant 2's region
+		wrote   bool
+	}
+	var burst []obs
+	sendAt := func(at time.Duration, v uint32) {
+		tb.Eng.At(at, func() {
+			before := word()
+			a := &packet.Active{
+				Header:  packet.ActiveHeader{FID: 2, Flags: packet.FlagPreload},
+				Args:    [4]uint32{v, 0, addr, 0},
+				Program: writer,
+			}
+			a.Header.SetType(packet.TypeProgram)
+			view := dev.View()
+			_, viewHas := view.StageView(stage).Region(2)
+			tb.RT.ExecuteProgram(a)
+			burst = append(burst, obs{gen: view.Gen, viewHas: viewHas, wrote: word() != before})
+		})
+	}
+	base := tb.Eng.Now()
+	for i := 0; i < 12; i++ {
+		sendAt(base+time.Duration(i+1)*time.Millisecond, uint32(0x100+i))
+	}
+	// The eviction lands mid-burst, between capsules 6 and 7.
+	tb.Eng.At(base+6500*time.Microsecond, func() { tb.Ctrl.GuardEvict(2) })
+	tb.RunFor(3 * time.Second)
+
+	if len(burst) != 12 {
+		t.Fatalf("burst ran %d capsules, want 12", len(burst))
+	}
+	if !tb.RT.Revoked(2) {
+		t.Fatal("tenant 2 not revoked after eviction")
+	}
+	if gen := dev.View().Gen; gen <= genBefore {
+		t.Fatalf("view generation did not advance across eviction: %d -> %d", genBefore, gen)
+	}
+	if _, ok := dev.View().StageView(stage).Region(2); ok {
+		t.Fatal("published view still contains the evicted tenant's region")
+	}
+
+	pre, post, retracted := 0, 0, false
+	for i, o := range burst {
+		// The ordering invariant: a capsule writes iff the view it executed
+		// under still held the tenant. A write without the region would be a
+		// stale translation serving a packet; a refusal with the region
+		// would be publication racing ahead of the commit.
+		if o.wrote != o.viewHas {
+			t.Fatalf("capsule %d: wrote=%v but view(gen %d) has region=%v", i, o.wrote, o.gen, o.viewHas)
+		}
+		if retracted && o.viewHas {
+			t.Fatalf("capsule %d executed under a resurrected stale view (gen %d)", i, o.gen)
+		}
+		if !o.viewHas {
+			retracted = true
+			post++
+		} else {
+			pre++
+		}
+	}
+	if pre < 3 || post < 3 {
+		t.Fatalf("eviction did not land mid-burst: %d pre, %d post", pre, post)
+	}
+	if got, want := word(), uint32(0x100+pre-1); got != want {
+		t.Fatalf("final word %#x, want last pre-eviction value %#x", got, want)
+	}
+	if victimCl.State() != client.Operational {
+		t.Error("victim knocked out of Operational by the neighbor's eviction")
 	}
 }
