@@ -20,6 +20,7 @@ import (
 	"activermt/internal/isa"
 	"activermt/internal/packet"
 	"activermt/internal/runtime"
+	"activermt/internal/telemetry"
 	"activermt/internal/workload"
 )
 
@@ -151,6 +152,29 @@ func BenchmarkPacketPath(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	res := runtime.NewExecResult()
+	sink := sys.RT.NewExecSink()
+	for i := 0; i < len(ring); i++ { // warm scratch buffers
+		sys.RT.ExecuteCapsule(ring[i], res, sink)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.RT.ExecuteCapsule(ring[i%len(ring)], res, sink)
+	}
+}
+
+// BenchmarkPacketPathTelemetry is BenchmarkPacketPath with the full
+// telemetry registry attached: sampled flight recording plus local histogram
+// and counter accumulation ride along every capsule. The allocs/op gate
+// stays 0; the ns/op delta against BenchmarkPacketPath is the telemetry
+// overhead tracked in BENCH_pipeline.json (must stay within 10%).
+func BenchmarkPacketPathTelemetry(b *testing.B) {
+	sys, ring, err := experiments.BuildPacketPathWorkload(8, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.RT.AttachTelemetry(telemetry.NewRegistry())
 	res := runtime.NewExecResult()
 	sink := sys.RT.NewExecSink()
 	for i := 0; i < len(ring); i++ { // warm scratch buffers

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"activermt/internal/experiments"
+	"activermt/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	lanes := flag.Int("lanes", 0, "run the packet-path throughput harness up to N lanes")
 	packets := flag.Int("packets", 0, "throughput harness: capsules per measured run")
 	benchOut := flag.String("bench-out", "BENCH_pipeline.json", "throughput harness: result file")
+	telAddr := flag.String("telemetry", "", "serve telemetry (Prometheus /metrics, JSON, pprof) on this address during the throughput harness")
 	flag.Parse()
 
 	if *list {
@@ -45,11 +47,15 @@ func main() {
 		return
 	}
 	if *lanes > 0 {
-		if err := runPipelineBench(*lanes, *packets, *benchOut); err != nil {
+		if err := runPipelineBench(*lanes, *packets, *benchOut, *telAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "activebench:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *telAddr != "" {
+		fmt.Fprintln(os.Stderr, "activebench: -telemetry applies to the -lanes throughput harness")
+		os.Exit(2)
 	}
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -105,23 +111,37 @@ func main() {
 }
 
 // runPipelineBench measures capsule throughput at 1,2,4,...,n lanes against
-// the single-threaded fast path and writes the result JSON.
-func runPipelineBench(n, packets int, path string) error {
+// the single-threaded fast path and writes the result JSON. With telAddr
+// set, the telemetry-enabled run's registry is served over HTTP for the
+// duration of the harness so it can be scraped live.
+func runPipelineBench(n, packets int, path, telAddr string) error {
 	counts := []int{}
 	for c := 1; c < n; c *= 2 {
 		counts = append(counts, c)
 	}
 	counts = append(counts, n)
-	res, err := experiments.RunPipelineBench(experiments.PipelineBenchConfig{
+	cfg := experiments.PipelineBenchConfig{
 		Lanes:   counts,
 		Packets: packets,
-	})
+	}
+	if telAddr != "" {
+		cfg.Registry = telemetry.NewRegistry()
+		srv, err := telemetry.Serve(cfg.Registry, telAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
+	res, err := experiments.RunPipelineBench(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("== packet-path throughput (%d tenants, cache workload, GOMAXPROCS=%d)\n",
 		res.Tenants, res.GoMaxProcs)
 	fmt.Printf("   %-12s %12.0f pps\n", "single", res.Single.PPS)
+	fmt.Printf("   %-12s %12.0f pps   %+.1f%% telemetry overhead\n",
+		"single+tel", res.SingleTelemetry.PPS, res.TelemetryDelta)
 	for _, lr := range res.Lanes {
 		fmt.Printf("   %-12s %12.0f pps   %.2fx vs single\n",
 			fmt.Sprintf("lanes=%d", lr.Lanes), lr.PPS, lr.Speedup)

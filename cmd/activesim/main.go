@@ -19,9 +19,13 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,6 +35,7 @@ import (
 	"activermt/internal/experiments"
 	"activermt/internal/netsim"
 	"activermt/internal/packet"
+	"activermt/internal/telemetry"
 	"activermt/internal/testbed"
 	"activermt/internal/workload"
 )
@@ -40,16 +45,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	chaosName := flag.String("chaos", "", "fault scenario for -scenario cache: "+strings.Join(chaos.Names(), " | "))
 	adversary := flag.Bool("adversary", false, "co-schedule an adversarial tenant attacking the cache")
+	telAddr := flag.String("telemetry", "", "serve Prometheus/JSON telemetry on this address during -scenario cache (e.g. 127.0.0.1:9464)")
 	flag.Parse()
 
-	if (*chaosName != "" || *adversary) && *scenario != "cache" {
-		fmt.Fprintln(os.Stderr, "activesim: -chaos and -adversary only apply to -scenario cache")
+	if (*chaosName != "" || *adversary || *telAddr != "") && *scenario != "cache" {
+		fmt.Fprintln(os.Stderr, "activesim: -chaos, -adversary, and -telemetry only apply to -scenario cache")
 		os.Exit(2)
 	}
 	var err error
 	switch *scenario {
 	case "cache":
-		err = runCache(*seed, *chaosName, *adversary)
+		err = runCache(*seed, *chaosName, *adversary, *telAddr)
 	case "multi":
 		err = runFromExperiment("fig9b", *seed)
 	case "churn":
@@ -82,10 +88,20 @@ func runFromExperiment(id string, seed int64) error {
 	return nil
 }
 
-func runCache(seed int64, chaosName string, adversary bool) error {
+func runCache(seed int64, chaosName string, adversary bool, telAddr string) error {
 	tb, err := testbed.New(testbed.DefaultConfig())
 	if err != nil {
 		return err
+	}
+	var telSrv *telemetry.Server
+	var midPackets uint64
+	if telAddr != "" {
+		reg := tb.EnableTelemetry()
+		if telSrv, err = telemetry.Serve(reg, telAddr); err != nil {
+			return err
+		}
+		defer telSrv.Close()
+		fmt.Printf("[%8.3fs] telemetry: serving http://%s/metrics\n", tb.Eng.Now().Seconds(), telSrv.Addr())
 	}
 	srv := apps.NewKVServer(tb.Eng, testbed.MACFor(200), testbed.IPFor(999))
 	_, sp := tb.Attach(srv, srv.MAC())
@@ -191,6 +207,15 @@ func runCache(seed int64, chaosName string, adversary bool) error {
 		rates = append(rates, cache.HitRate())
 		fmt.Printf("[%8.3fs] window %d: hit rate %.3f (%d hits, %d misses, server saw %d)\n",
 			tb.Eng.Now().Seconds(), window, cache.HitRate(), cache.Hits, cache.Misses, srv.Requests)
+		if telSrv != nil && window == 2 {
+			families, packets, err := scrapeMetrics(telSrv.Addr())
+			if err != nil {
+				return fmt.Errorf("mid-run telemetry scrape: %w", err)
+			}
+			midPackets = packets
+			fmt.Printf("[%8.3fs] telemetry: mid-run scrape ok (%d families, packets=%d)\n",
+				tb.Eng.Now().Seconds(), families, packets)
+		}
 	}
 	if advSc != nil {
 		tb.RunFor(2 * time.Second) // eviction + reallocation settle
@@ -200,7 +225,7 @@ func runCache(seed int64, chaosName string, adversary bool) error {
 		fmt.Printf("    victim hit rate: clean %.3f, under attack %.3f, delta %+.3f\n",
 			clean, attacked, attacked-clean)
 		fmt.Printf("    guard: checked=%d dropped=%d tenant-violations=%d port-violations=%d\n",
-			tb.Guard.Checked, tb.Guard.DroppedAtIngress, tb.Guard.TenantViolations, tb.Guard.PortViolations)
+			tb.Guard.Checked(), tb.Guard.DroppedAtIngress(), tb.Guard.TenantViolations(), tb.Guard.PortViolations())
 		fmt.Printf("    controller: quarantines=%d evictions=%d\n",
 			tb.Ctrl.GuardQuarantines, tb.Ctrl.GuardEvictions)
 		if led := tb.Guard.Tenant(attackerFID); led != nil {
@@ -230,7 +255,81 @@ func runCache(seed int64, chaosName string, adversary bool) error {
 			tb.Ctrl.Crashes, tb.Ctrl.Restarts, tb.Ctrl.Readmissions,
 			tb.Ctrl.DigestsDropped, tb.Ctrl.Allocator().QuarantinedBlocks())
 	}
+	if telSrv != nil {
+		families, packets, err := scrapeMetrics(telSrv.Addr())
+		if err != nil {
+			return fmt.Errorf("final telemetry scrape: %w", err)
+		}
+		if packets < midPackets {
+			return fmt.Errorf("telemetry: packet counter not monotone: mid=%d final=%d", midPackets, packets)
+		}
+		fmt.Printf("[%8.3fs] telemetry: final scrape ok (%d families, packets mid=%d final=%d, monotone)\n",
+			tb.Eng.Now().Seconds(), families, midPackets, packets)
+	}
 	return nil
+}
+
+// scrapeRequired are the metric families the ISSUE's acceptance criteria
+// demand from a live scrape; the smoke path fails if any is missing.
+var scrapeRequired = []string{
+	"activermt_stage_occupancy_words",  // per-stage register occupancy
+	"activermt_alloc_tenant_blocks",    // per-tenant block counts
+	"activermt_guard_violations_total", // guard violation totals
+	"activermt_packet_latency_ns",      // packet latency histogram
+	"activermt_progcache_hit_ratio",    // program-cache hit ratio
+	"activermt_device_packets_total",   // monotone packet counter
+}
+
+// scrapeMetrics fetches the Prometheus exposition from a running telemetry
+// server, checks it is well-formed (every sample line parses, every required
+// family is present), and returns the family count and the device packet
+// counter value.
+func scrapeMetrics(addr string) (families int, packets uint64, err error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("scrape status %s", resp.Status)
+	}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 4<<20))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			families++
+			f := strings.Fields(line)
+			if len(f) >= 3 {
+				seen[f[2]] = true
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			return 0, 0, fmt.Errorf("malformed exposition line %q", line)
+		}
+		v, perr := strconv.ParseFloat(line[idx+1:], 64)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("malformed sample value in %q", line)
+		}
+		if line[:idx] == "activermt_device_packets_total" {
+			packets = uint64(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	for _, want := range scrapeRequired {
+		if !seen[want] {
+			return 0, 0, fmt.Errorf("scrape missing required family %s", want)
+		}
+	}
+	return families, packets, nil
 }
 
 func runLB(seed int64) error {

@@ -158,6 +158,10 @@ type Allocator struct {
 	apps    map[uint16]*App
 	pinned  []*intervalSet // per stage: inelastic intervals (persistent)
 	elastic []*intervalSet // per stage: elastic intervals (recomputed)
+
+	// tel mirrors the books into occupancy gauges; it outlives the
+	// allocator (see Telemetry) and resyncs after every public mutation.
+	tel *Telemetry
 }
 
 // New returns an empty allocator.
@@ -396,6 +400,7 @@ func lessCost(x, y [5]int) bool {
 // Result.Failed set means the request was well-formed but could not be
 // placed (the paper's "failed allocation" — a fast path).
 func (a *Allocator) Allocate(fid uint16, cons *Constraints) (*Result, error) {
+	defer a.syncTel()
 	if _, dup := a.apps[fid]; dup {
 		return nil, fmt.Errorf("alloc: fid %d already resident", fid)
 	}
@@ -536,6 +541,7 @@ func (a *Allocator) Release(fid uint16) ([]*Placement, error) {
 	if _, ok := a.apps[fid]; !ok {
 		return nil, fmt.Errorf("alloc: fid %d not resident", fid)
 	}
+	defer a.syncTel()
 	before := a.snapshotElasticRegions()
 	for _, s := range a.pinned {
 		s.removeOwner(fid)

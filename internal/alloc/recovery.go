@@ -32,6 +32,7 @@ func (a *Allocator) Recover(fid uint16, regions map[int]BlockRange) error {
 	if _, dup := a.apps[fid]; dup {
 		return fmt.Errorf("alloc: fid %d already resident", fid)
 	}
+	defer a.syncTel()
 	app := &App{FID: fid, regions: map[int]BlockRange{}}
 	stages := make([]int, 0, len(regions))
 	for s := range regions {
@@ -72,6 +73,7 @@ func (a *Allocator) Readmit(fid uint16, cons *Constraints) (*Result, error) {
 	if !ok || app.Cons != nil {
 		return nil, fmt.Errorf("alloc: fid %d not in recovered state", fid)
 	}
+	defer a.syncTel()
 	if err := cons.Validate(); err != nil {
 		return nil, err
 	}
@@ -189,6 +191,7 @@ func (a *Allocator) Quarantine(stage int, r BlockRange) ([]*Placement, error) {
 		}
 		return nil, fmt.Errorf("alloc: quarantine %+v at stage %d overlaps pinned fid %d", r, stage, iv.fid)
 	}
+	defer a.syncTel()
 	before := a.snapshotElasticRegions()
 	a.pinned[stage].insert(interval{BlockRange: r, fid: QuarantineFID})
 	a.recomputeElastic()
@@ -229,6 +232,7 @@ func (a *Allocator) Evacuate(fid uint16, quar map[int][]BlockRange) (*Result, er
 	if !ok {
 		return nil, fmt.Errorf("alloc: fid %d not resident", fid)
 	}
+	defer a.syncTel()
 	before := a.snapshotElasticRegions()
 	delete(before, fid) // the victim always gets a fresh placement
 	cons := app.Cons

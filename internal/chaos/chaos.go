@@ -19,6 +19,7 @@ import (
 	"activermt/internal/netsim"
 	"activermt/internal/runtime"
 	"activermt/internal/switchd"
+	"activermt/internal/telemetry"
 )
 
 // System bundles the simulated components a scenario acts on. The testbed
@@ -29,6 +30,21 @@ type System struct {
 	Ctrl   *switchd.Controller
 	RT     *runtime.Runtime
 	Guard  *guard.Guard // nil when the capsule guard is disabled
+	Tel    *Telemetry   // nil when telemetry is disabled
+}
+
+// Telemetry counts injected fault events by name, so a scrape can correlate
+// data-plane metric movement with the chaos schedule that caused it.
+type Telemetry struct {
+	Events *telemetry.CounterVec
+}
+
+// NewTelemetry registers the chaos event counter.
+func NewTelemetry(reg *telemetry.Registry) *Telemetry {
+	return &Telemetry{
+		Events: reg.NewCounterVec("activermt_chaos_events_total",
+			"Chaos scenario events fired, by event name.", "event"),
+	}
 }
 
 // Injector is one composable fault: Apply arms it, Revert disarms it.
@@ -112,6 +128,9 @@ func (s *Scenario) Install(sys *System) error {
 		ev := ev
 		sys.Eng.Schedule(ev.off, func() {
 			s.trace = append(s.trace, TraceEntry{At: sys.Eng.Now(), Name: ev.name})
+			if sys.Tel != nil {
+				sys.Tel.Events.With(ev.name).Inc()
+			}
 			ev.action(sys)
 		})
 	}

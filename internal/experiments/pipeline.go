@@ -10,6 +10,7 @@ import (
 	"activermt/internal/isa"
 	"activermt/internal/packet"
 	art "activermt/internal/runtime"
+	"activermt/internal/telemetry"
 )
 
 // This file is the packet-path throughput harness behind `activebench
@@ -25,6 +26,11 @@ type PipelineBenchConfig struct {
 	Packets int   // capsules per measured run (default 200k)
 	Lanes   []int // lane counts to measure (default 1,2,4)
 	Ring    int   // pre-built capsules per tenant (default 64)
+
+	// Registry, when non-nil, is attached for the telemetry-enabled run
+	// instead of a private one — activebench passes the registry it serves
+	// over HTTP so a live scrape observes the measured run.
+	Registry *telemetry.Registry
 }
 
 // LaneRate is one measured configuration. Lanes==0 denotes the
@@ -38,13 +44,19 @@ type LaneRate struct {
 }
 
 // PipelineBench is the harness result, serialized to BENCH_pipeline.json.
+// SingleTelemetry repeats the single-threaded measurement with the full
+// telemetry registry attached (counters, latency histogram, lane flight
+// recorder); TelemetryDeltaPct is its ns/op overhead relative to Single —
+// the ISSUE gate requires it to stay within 10%.
 type PipelineBench struct {
-	Tenants    int        `json:"tenants"`
-	Ring       int        `json:"ring_per_tenant"`
-	GoMaxProcs int        `json:"gomaxprocs"`
-	NumCPU     int        `json:"numcpu"`
-	Single     LaneRate   `json:"single"`
-	Lanes      []LaneRate `json:"lanes"`
+	Tenants         int        `json:"tenants"`
+	Ring            int        `json:"ring_per_tenant"`
+	GoMaxProcs      int        `json:"gomaxprocs"`
+	NumCPU          int        `json:"numcpu"`
+	Single          LaneRate   `json:"single"`
+	SingleTelemetry LaneRate   `json:"single_telemetry"`
+	TelemetryDelta  float64    `json:"telemetry_delta_pct"`
+	Lanes           []LaneRate `json:"lanes"`
 }
 
 // pipelineCacheProg is the paper's cache query (Listing 1): three memory
@@ -147,10 +159,19 @@ func RunPipelineBench(cfg PipelineBenchConfig) (*PipelineBench, error) {
 	}
 
 	// Single-threaded fast path: one ExecResult, one sink, no dispatch.
-	{
+	// Measured twice — bare, then with the telemetry registry attached — so
+	// the instrumentation overhead is a first-class number in the result.
+	singleRun := func(withTelemetry bool) (LaneRate, error) {
 		sys, ring, err := buildPipelineWorkload(cfg)
 		if err != nil {
-			return nil, err
+			return LaneRate{}, err
+		}
+		if withTelemetry {
+			reg := cfg.Registry
+			if reg == nil {
+				reg = telemetry.NewRegistry()
+			}
+			sys.RT.AttachTelemetry(reg)
 		}
 		er := art.NewExecResult()
 		sink := sys.RT.NewExecSink()
@@ -165,14 +186,23 @@ func RunPipelineBench(cfg PipelineBenchConfig) (*PipelineBench, error) {
 		el := time.Since(start)
 		sink.Path.FlushInto(sys.RT)
 		sink.Dev.FlushInto(sys.RT.Device())
-		res.Single = LaneRate{
+		return LaneRate{
 			Lanes:   0,
 			Packets: cfg.Packets,
 			Seconds: el.Seconds(),
 			PPS:     float64(cfg.Packets) / el.Seconds(),
 			Speedup: 1,
-		}
+		}, nil
 	}
+	var err error
+	if res.Single, err = singleRun(false); err != nil {
+		return nil, err
+	}
+	if res.SingleTelemetry, err = singleRun(true); err != nil {
+		return nil, err
+	}
+	res.SingleTelemetry.Speedup = res.SingleTelemetry.PPS / res.Single.PPS
+	res.TelemetryDelta = (res.Single.PPS/res.SingleTelemetry.PPS - 1) * 100
 
 	for _, n := range cfg.Lanes {
 		sys, ring, err := buildPipelineWorkload(cfg)

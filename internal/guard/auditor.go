@@ -60,9 +60,9 @@ func (f Finding) String() string {
 
 // Audit runs the auditor over the guard's runtime and accumulates counters.
 func (g *Guard) Audit() []Finding {
-	g.AuditsRun++
+	g.m.auditsRun.Inc()
 	fs := AuditRuntime(g.rt)
-	g.FindingsTotal += uint64(len(fs))
+	g.m.findingsTotal.Add(uint64(len(fs)))
 	return fs
 }
 

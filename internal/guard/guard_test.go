@@ -346,8 +346,8 @@ func TestAuditorFindsOverlapOrphanAndEscape(t *testing.T) {
 	if found[FindingTranslateEscape] == 0 {
 		t.Error("translate escape not found")
 	}
-	if g.AuditsRun != 2 || g.FindingsTotal != uint64(len(fs)) {
-		t.Errorf("audit counters: runs %d findings %d", g.AuditsRun, g.FindingsTotal)
+	if g.AuditsRun() != 2 || g.FindingsTotal() != uint64(len(fs)) {
+		t.Errorf("audit counters: runs %d findings %d", g.AuditsRun(), g.FindingsTotal())
 	}
 }
 
@@ -361,7 +361,7 @@ func TestNonProgramCapsulesBypassTheGuard(t *testing.T) {
 	if !g.CheckProgram(nil, 1) {
 		t.Error("nil capsule blocked")
 	}
-	if g.Checked != 0 {
-		t.Errorf("Checked = %d, want 0", g.Checked)
+	if g.Checked() != 0 {
+		t.Errorf("Checked = %d, want 0", g.Checked())
 	}
 }

@@ -116,6 +116,10 @@ type Device struct {
 	// (Exec); it is flushed into the legacy fields after every packet.
 	stats *ExecStats
 
+	// tel, when attached, receives the flushed counters and the latency
+	// histogram (see telemetry.go); nil keeps the device telemetry-free.
+	tel *Telemetry
+
 	// Counters for the experiment harness. Written only by FlushInto /
 	// lane merges; see ExecStats.
 	PacketsIn, PacketsDropped, Recirculations uint64
@@ -283,6 +287,7 @@ func (d *Device) run(p *PHV, startIdx, extraSlots int, view *PipeView, st *ExecS
 	p.StagesRun = slots
 	p.Passes = (slots + n - 1) / n
 	p.Latency = time.Duration(int64(slots) * d.cfg.PassLatency.Nanoseconds() / int64(n))
+	st.Lat.Observe(uint64(p.Latency))
 	if p.Dropped {
 		st.PacketsDropped++
 	}

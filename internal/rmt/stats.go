@@ -1,5 +1,7 @@
 package rmt
 
+import "activermt/internal/telemetry"
+
 // ExecStats is a counter sink for the packet hot path. The device and the
 // installed actions count into an ExecStats instead of touching the shared
 // counter fields directly, which is what lets N execution lanes run
@@ -19,6 +21,11 @@ type ExecStats struct {
 	RegReads      []uint64
 	RegWrites     []uint64
 	RegFaults     []uint64
+
+	// Lat accumulates per-packet pipeline latency (nanoseconds) lane-
+	// locally; FlushInto merges it into the device's telemetry histogram.
+	// Plain single-writer fields, exactly like the counters above.
+	Lat telemetry.HistLocal
 }
 
 // NewExecStats returns a sink sized for a pipeline of numStages stages.
@@ -46,6 +53,7 @@ func (s *ExecStats) Reset() {
 		s.RegWrites[i] = 0
 		s.RegFaults[i] = 0
 	}
+	s.Lat.Reset()
 }
 
 // Merge adds o into s.
@@ -60,6 +68,7 @@ func (s *ExecStats) Merge(o *ExecStats) {
 		s.RegWrites[i] += o.RegWrites[i]
 		s.RegFaults[i] += o.RegFaults[i]
 	}
+	s.Lat.Merge(&o.Lat)
 }
 
 // FlushInto drains the sink into the device's legacy counter fields (device
@@ -80,6 +89,37 @@ func (s *ExecStats) FlushInto(d *Device) {
 		st.Registers.Reads += s.RegReads[i]
 		st.Registers.Writes += s.RegWrites[i]
 		st.Registers.Faults += s.RegFaults[i]
+	}
+	if t := d.tel; t != nil {
+		// Same merge, into the shared atomic metrics. Zero deltas are
+		// skipped so a per-packet flush costs a handful of atomic adds.
+		if s.PacketsIn != 0 {
+			t.PacketsIn.Add(s.PacketsIn)
+		}
+		if s.PacketsDropped != 0 {
+			t.PacketsDropped.Add(s.PacketsDropped)
+		}
+		if s.Recirculations != 0 {
+			t.Recirculations.Add(s.Recirculations)
+		}
+		for i := range s.StageExecuted {
+			if i >= len(t.StageExecuted) {
+				break
+			}
+			if v := s.StageExecuted[i]; v != 0 {
+				t.StageExecuted[i].Add(v)
+			}
+			if v := s.RegReads[i]; v != 0 {
+				t.RegReads[i].Add(v)
+			}
+			if v := s.RegWrites[i]; v != 0 {
+				t.RegWrites[i].Add(v)
+			}
+			if v := s.RegFaults[i]; v != 0 {
+				t.RegFaults[i].Add(v)
+			}
+		}
+		s.Lat.FlushInto(t.Latency)
 	}
 	s.Reset()
 }

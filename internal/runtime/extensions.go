@@ -73,6 +73,9 @@ func (r *Runtime) RecircAllowed(fid uint16, progLen int) bool {
 	if st.tokens < extra {
 		r.recircMu.Unlock()
 		atomic.AddUint64(&r.RecircThrottled, 1)
+		if t := r.tel; t != nil {
+			t.RecircThrottled.Inc()
+		}
 		return false
 	}
 	st.tokens -= extra

@@ -7,6 +7,7 @@ import (
 	"activermt/internal/isa"
 	"activermt/internal/packet"
 	"activermt/internal/rmt"
+	"activermt/internal/telemetry"
 )
 
 // This file is the allocation-free packet hot path. ExecuteCapsule performs
@@ -67,6 +68,28 @@ func (s *PathStats) FlushInto(r *Runtime) {
 	r.PrivSuppressed += s.PrivSuppressed
 	r.QuarantineDrops += s.QuarantineDrops
 	r.RevokedDrops += s.RevokedDrops
+	if t := r.tel; t != nil {
+		// Mirror the merge into the shared telemetry counters; zero deltas
+		// skipped so the per-packet compat flush stays a few atomic adds.
+		if s.ProgramsRun != 0 {
+			t.ProgramsRun.Add(s.ProgramsRun)
+		}
+		if s.Passthrough != 0 {
+			t.Passthrough.Add(s.Passthrough)
+		}
+		if s.Faults != 0 {
+			t.Faults.Add(s.Faults)
+		}
+		if s.PrivSuppressed != 0 {
+			t.PrivSuppressed.Add(s.PrivSuppressed)
+		}
+		if s.QuarantineDrops != 0 {
+			t.QuarantineDrops.Add(s.QuarantineDrops)
+		}
+		if s.RevokedDrops != 0 {
+			t.RevokedDrops.Add(s.RevokedDrops)
+		}
+	}
 	*s = PathStats{}
 }
 
@@ -77,11 +100,23 @@ type ExecSink struct {
 	Path   PathStats
 	Dev    *rmt.ExecStats
 	Events []GuardEvent
+
+	// FR is the executor's flight recorder (nil when telemetry is off).
+	// Single-writer like the rest of the sink; the scrape goroutine copies
+	// it out under the recorder's own mutex.
+	FR *telemetry.FlightRecorder
 }
 
-// NewExecSink returns a sink sized for the runtime's pipeline.
+// NewExecSink returns a sink sized for the runtime's pipeline. With
+// telemetry attached, the sink carries its own flight recorder under a
+// fresh lane id.
 func (r *Runtime) NewExecSink() *ExecSink {
-	return &ExecSink{Dev: rmt.NewExecStats(r.dev.NumStages())}
+	s := &ExecSink{Dev: rmt.NewExecStats(r.dev.NumStages())}
+	if t := r.tel; t != nil {
+		s.FR = telemetry.NewFlightRecorder(int(t.laneSeq.Add(1)), telemetry.DefaultFlightSize, telemetry.DefaultFlightPeriod)
+		t.reg.AttachFlight(s.FR)
+	}
+	return s
 }
 
 // DeliverEvents replays the buffered guard events into the installed
@@ -100,6 +135,17 @@ func (r *Runtime) DeliverEvents(sink *ExecSink) {
 		}
 	}
 	sink.Events = sink.Events[:0]
+}
+
+// flightRefusal force-records a refused capsule into the sink's flight
+// recorder (refusals always record; the sampling clock still advances so
+// executed-capsule sampling stays uniform). The epoch lookup only happens
+// on refusal paths, never per clean packet.
+func (s *ExecSink) flightRefusal(cv *ctrlView, fid uint16, v telemetry.Verdict) {
+	if fr := s.FR; fr != nil {
+		fr.ShouldSample()
+		fr.Record(telemetry.FlightEntry{FID: fid, Epoch: cv.epochs[fid], Verdict: v})
+	}
 }
 
 // outSlot is one reusable output capsule: the Active, its Program, and the
@@ -175,11 +221,15 @@ func (r *Runtime) ExecuteCapsule(a *packet.Active, res *ExecResult, sink *ExecSi
 	if cv.revoked[fid] {
 		sink.Path.RevokedDrops++
 		sink.Events = append(sink.Events, GuardEvent{Kind: GuardEventRevokedDrop, FID: fid})
+		sink.flightRefusal(cv, fid, telemetry.VerdictRevoked)
 		res.hardDrop(a, lat)
 		return
 	}
 	if !cv.admitted[fid] {
 		sink.Path.Passthrough++
+		if fr := sink.FR; fr != nil && fr.ShouldSample() {
+			fr.Record(telemetry.FlightEntry{FID: fid, Verdict: telemetry.VerdictPassthrough})
+		}
 		s := res.slot(0)
 		s.out = Output{Active: a, Latency: lat}
 		res.addOutput(s)
@@ -187,11 +237,13 @@ func (r *Runtime) ExecuteCapsule(a *packet.Active, res *ExecResult, sink *ExecSi
 	}
 	if cv.quarantined[fid] && a.Header.Flags&packet.FlagMemSync == 0 {
 		sink.Path.QuarantineDrops++
+		sink.flightRefusal(cv, fid, telemetry.VerdictQuarantined)
 		res.hardDrop(a, lat)
 		return
 	}
 	if !r.RecircAllowed(fid, a.Program.Len()) {
 		sink.Events = append(sink.Events, GuardEvent{Kind: GuardEventRecircThrottled, FID: fid})
+		sink.flightRefusal(cv, fid, telemetry.VerdictThrottled)
 		res.hardDrop(a, lat)
 		return
 	}
@@ -224,6 +276,21 @@ func (r *Runtime) ExecuteCapsule(a *packet.Active, res *ExecResult, sink *ExecSi
 		s := res.slot(i)
 		r.encodeOutputInto(a, p, s)
 		res.addOutput(s)
+	}
+	if fr := sink.FR; fr != nil {
+		p := res.devOuts[0] // primary PHV describes the capsule's traversal
+		forced := p.Faulted || p.Dropped
+		if fr.ShouldSample() || forced {
+			v := telemetry.VerdictExecuted
+			if p.Dropped {
+				v = telemetry.VerdictDropped
+			}
+			fr.Record(telemetry.FlightEntry{
+				FID: fid, Epoch: cv.epochs[fid], Verdict: v,
+				Stages: uint16(p.StagesRun), Passes: uint8(p.Passes),
+				Faulted: p.Faulted, Addr: p.MAR, FaultAddr: p.FaultAddr,
+			})
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"activermt/internal/packet"
+	"activermt/internal/telemetry"
 )
 
 // execFast runs one capsule through the fast path and flushes the sink, so
@@ -126,33 +127,51 @@ func TestExecuteCapsuleMatchesExecuteProgram(t *testing.T) {
 // TestExecuteCapsuleZeroAlloc is the allocation gate for the packet hot
 // path: once scratch buffers are warm, ExecuteCapsule must not allocate —
 // on the clean path and on the fault path (buffered events reuse their
-// capacity after delivery).
+// capacity after delivery). The gate holds with telemetry both disabled and
+// enabled: sharded counter adds, local-histogram observes, and flight-ring
+// records are all allocation-free by construction.
 func TestExecuteCapsuleZeroAlloc(t *testing.T) {
-	r := testRuntime(t)
-	installCacheGrant(t, r, 1, 0, 1024)
-	res := NewExecResult()
-	sink := r.NewExecSink()
+	for _, tc := range []struct {
+		name      string
+		telemetry bool
+	}{
+		{name: "bare", telemetry: false},
+		{name: "telemetry", telemetry: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := testRuntime(t)
+			if tc.telemetry {
+				r.AttachTelemetry(telemetry.NewRegistry())
+			}
+			installCacheGrant(t, r, 1, 0, 1024)
+			res := NewExecResult()
+			sink := r.NewExecSink()
 
-	clean := progPacket(1, cacheQuery, [4]uint32{7, 9, 100, 0})
-	clean.Header.Flags |= packet.FlagPreload
-	faulty := progPacket(1, cacheQuery, [4]uint32{7, 9, 4000, 0})
-	faulty.Header.Flags |= packet.FlagPreload
+			clean := progPacket(1, cacheQuery, [4]uint32{7, 9, 100, 0})
+			clean.Header.Flags |= packet.FlagPreload
+			faulty := progPacket(1, cacheQuery, [4]uint32{7, 9, 4000, 0})
+			faulty.Header.Flags |= packet.FlagPreload
 
-	for i := 0; i < 64; i++ { // warm scratch buffers and event capacity
-		r.ExecuteCapsule(clean, res, sink)
-		r.ExecuteCapsule(faulty, res, sink)
-		r.DeliverEvents(sink)
-	}
-	if avg := testing.AllocsPerRun(200, func() {
-		r.ExecuteCapsule(clean, res, sink)
-	}); avg != 0 {
-		t.Fatalf("clean path allocates %.2f/op, want 0", avg)
-	}
-	if avg := testing.AllocsPerRun(200, func() {
-		r.ExecuteCapsule(faulty, res, sink)
-		r.DeliverEvents(sink)
-	}); avg != 0 {
-		t.Fatalf("fault path allocates %.2f/op, want 0", avg)
+			for i := 0; i < 64; i++ { // warm scratch buffers and event capacity
+				r.ExecuteCapsule(clean, res, sink)
+				r.ExecuteCapsule(faulty, res, sink)
+				r.DeliverEvents(sink)
+			}
+			if avg := testing.AllocsPerRun(200, func() {
+				r.ExecuteCapsule(clean, res, sink)
+			}); avg != 0 {
+				t.Fatalf("clean path allocates %.2f/op, want 0", avg)
+			}
+			if avg := testing.AllocsPerRun(200, func() {
+				r.ExecuteCapsule(faulty, res, sink)
+				r.DeliverEvents(sink)
+			}); avg != 0 {
+				t.Fatalf("fault path allocates %.2f/op, want 0", avg)
+			}
+			if tc.telemetry && sink.FR != nil && sink.FR.Recorded() == 0 {
+				t.Fatal("telemetry enabled but the lane flight recorder saw no samples")
+			}
+		})
 	}
 }
 

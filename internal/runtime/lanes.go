@@ -103,6 +103,9 @@ func (r *Runtime) NewLanes(n int) (*Lanes, error) {
 		go l.runLane(w)
 	}
 	l.RefreshRoutes()
+	if r.tel != nil {
+		r.telLanes.Store(l)
+	}
 	return l, nil
 }
 
@@ -231,6 +234,7 @@ func (l *Lanes) Stop() {
 		w.sink.Dev.FlushInto(l.rt.dev)
 		l.rt.DeliverEvents(w.sink)
 	}
+	l.rt.telLanes.CompareAndSwap(l, nil)
 }
 
 func (l *Lanes) runLane(w *laneWorker) {

@@ -11,6 +11,7 @@ import (
 	"activermt/internal/isa"
 	"activermt/internal/packet"
 	"activermt/internal/rmt"
+	"activermt/internal/telemetry"
 )
 
 // AccessGrant places one memory access of an admitted program: the logical
@@ -66,6 +67,13 @@ type Runtime struct {
 	// ingress guard read (see snapshot.go); snapGen numbers publications.
 	snap    atomic.Pointer[ctrlView]
 	snapGen uint64
+
+	// Telemetry wiring (nil when disabled; see telemetry.go). flight is
+	// the single-threaded path's capsule recorder; telLanes exposes the
+	// active Lanes instance to the queue-depth gauge.
+	tel      *Telemetry
+	flight   *telemetry.FlightRecorder
+	telLanes atomic.Pointer[Lanes]
 
 	// Stats for the experiment harness.
 	ProgramsRun, Passthrough, Faults uint64
@@ -155,6 +163,7 @@ func (r *Runtime) bumpEpoch(fid uint16) {
 func (r *Runtime) Deactivate(fid uint16) {
 	r.quarantined[fid] = true
 	r.TableOps++
+	r.addTableOps(1)
 	r.publish()
 }
 
@@ -162,6 +171,7 @@ func (r *Runtime) Deactivate(fid uint16) {
 func (r *Runtime) Reactivate(fid uint16) {
 	delete(r.quarantined, fid)
 	r.TableOps++
+	r.addTableOps(1)
 	r.publish()
 }
 
@@ -222,6 +232,7 @@ func (r *Runtime) InstallGrant(g Grant) (int, error) {
 	r.admitted[g.FID] = rec
 	r.bumpEpoch(g.FID)
 	r.TableOps += uint64(ops) + 1 // +1 for the admission gate entry
+	r.addTableOps(uint64(ops) + 1)
 	return ops + 1, nil
 }
 
@@ -245,6 +256,7 @@ func (r *Runtime) AdmitStateless(fid uint16) {
 		r.admitted[fid] = &grantRecord{}
 		r.bumpEpoch(fid)
 		r.TableOps++
+		r.addTableOps(1)
 		r.publish()
 	}
 }
@@ -261,6 +273,7 @@ func (r *Runtime) RemoveGrant(fid uint16) int {
 	delete(r.quarantined, fid)
 	r.revoked[fid] = true
 	r.TableOps += uint64(ops)
+	r.addTableOps(uint64(ops))
 	r.dev.RebuildView()
 	r.publish()
 	return ops
@@ -320,6 +333,10 @@ func (r *Runtime) ExecuteProgram(a *packet.Active) []*Output {
 	memsync := a.Header.Flags&packet.FlagMemSync != 0
 	if r.Revoked(fid) {
 		r.RevokedDrops++
+		if t := r.tel; t != nil {
+			t.RevokedDrops.Inc()
+		}
+		r.flightRecord(true, telemetry.FlightEntry{FID: fid, Epoch: r.Epoch(fid), Verdict: telemetry.VerdictRevoked})
 		if r.guard != nil {
 			r.guard.RevokedDrop(fid)
 		}
@@ -327,21 +344,33 @@ func (r *Runtime) ExecuteProgram(a *packet.Active) []*Output {
 	}
 	if !r.Admitted(fid) {
 		r.Passthrough++
+		if t := r.tel; t != nil {
+			t.Passthrough.Inc()
+		}
+		r.flightRecord(false, telemetry.FlightEntry{FID: fid, Verdict: telemetry.VerdictPassthrough})
 		return []*Output{{Active: a, Latency: r.dev.Config().PassLatency}}
 	}
 	if r.Quarantined(fid) && !memsync {
 		r.QuarantineDrops++
+		if t := r.tel; t != nil {
+			t.QuarantineDrops.Inc()
+		}
+		r.flightRecord(true, telemetry.FlightEntry{FID: fid, Epoch: r.Epoch(fid), Verdict: telemetry.VerdictQuarantined})
 		return []*Output{r.hardDrop(a)}
 	}
 	if !r.RecircAllowed(fid, a.Program.Len()) {
 		// The recirculation fairness controller polices bandwidth
 		// inflation (Section 7.2): over-budget programs are dropped.
+		r.flightRecord(true, telemetry.FlightEntry{FID: fid, Epoch: r.Epoch(fid), Verdict: telemetry.VerdictThrottled})
 		if r.guard != nil {
 			r.guard.RecircThrottled(fid)
 		}
 		return []*Output{r.hardDrop(a)}
 	}
 	r.ProgramsRun++
+	if t := r.tel; t != nil {
+		t.ProgramsRun.Inc()
+	}
 
 	phv := &rmt.PHV{
 		FID:    a.Header.FID,
@@ -363,11 +392,26 @@ func (r *Runtime) ExecuteProgram(a *packet.Active) []*Output {
 	for _, p := range outs {
 		if p.Faulted {
 			r.Faults++
+			if t := r.tel; t != nil {
+				t.Faults.Inc()
+			}
 			if r.guard != nil {
 				r.guard.MemFault(fid, p.FaultStage, p.FaultAddr, p.FaultOwner, p.FaultOwned)
 			}
 		}
 		results = append(results, r.encodeOutput(a, p))
+	}
+	if r.flight != nil {
+		p := outs[0]
+		v := telemetry.VerdictExecuted
+		if p.Dropped {
+			v = telemetry.VerdictDropped
+		}
+		r.flightRecord(p.Faulted || p.Dropped, telemetry.FlightEntry{
+			FID: fid, Epoch: r.Epoch(fid), Verdict: v,
+			Stages: uint16(p.StagesRun), Passes: uint8(p.Passes),
+			Faulted: p.Faulted, Addr: p.MAR, FaultAddr: p.FaultAddr,
+		})
 	}
 	return results
 }

@@ -39,7 +39,16 @@ func (r *Runtime) view() *ctrlView {
 // publish rebuilds the control snapshot from the builder maps and swaps it
 // in. Every mutator of admission state must call it (once, after the full
 // mutation) so packets never observe a half-applied commit.
+//
+// With telemetry attached, the pointer swap and every committed-state gauge
+// update (admission counts, per-FID epochs, per-stage occupancy) happen
+// inside one registry commit window, so a concurrent scrape observes either
+// all of this commit's telemetry or none of it.
 func (r *Runtime) publish() {
+	if t := r.tel; t != nil {
+		t.reg.BeginCommit()
+		defer t.reg.EndCommit()
+	}
 	r.snapGen++
 	v := &ctrlView{
 		admitted:    make(map[uint16]bool, len(r.admitted)),
@@ -74,6 +83,9 @@ func (r *Runtime) publish() {
 		}
 	}
 	r.snap.Store(v)
+	if r.tel != nil {
+		r.syncGauges(v)
+	}
 }
 
 // SnapshotGen returns the generation of the current published control view

@@ -9,6 +9,7 @@ import (
 	"activermt/internal/netsim"
 	"activermt/internal/packet"
 	"activermt/internal/runtime"
+	"activermt/internal/telemetry"
 )
 
 // Costs models the control-plane latencies of the paper's testbed
@@ -102,6 +103,10 @@ type Controller struct {
 	// fresh allocations; the controller is its Escalator.
 	guard *guard.Guard
 
+	// tel, when attached, mirrors provisioning records and fault counters
+	// into the telemetry registry (see telemetry.go).
+	tel *ctrlTelemetry
+
 	// Fault/recovery counters.
 	Crashes, Restarts     uint64
 	DigestsDropped        uint64
@@ -159,6 +164,7 @@ func (c *Controller) GuardQuarantine(fid uint16) {
 	}
 	c.rt.Deactivate(fid)
 	c.GuardQuarantines++
+	c.telInc(func(t *ctrlTelemetry) *telemetry.Counter { return t.guardQuar })
 }
 
 // GuardEvict implements guard.Escalator: tear the tenant down through the
@@ -202,9 +208,13 @@ func (c *Controller) Crash() {
 	c.snapWaiter = nil
 	c.clients = make(map[uint16]packet.MAC)
 	if fresh, err := alloc.New(c.al.Config()); err == nil {
+		// The occupancy gauges outlive the books: hand them to the fresh
+		// allocator so a restart resyncs instead of re-registering.
+		fresh.SetTelemetry(c.al.Telemetry())
 		c.al = fresh
 	}
 	c.Crashes++
+	c.telInc(func(t *ctrlTelemetry) *telemetry.Counter { return t.crashes })
 }
 
 // Restart brings the control plane back up and rebuilds the allocation
@@ -220,6 +230,7 @@ func (c *Controller) Restart() {
 	}
 	c.alive = true
 	c.Restarts++
+	c.telInc(func(t *ctrlTelemetry) *telemetry.Counter { return t.restarts })
 	bw := c.al.Config().BlockWords
 	for _, fid := range c.rt.AdmittedFIDs() {
 		regions := c.rt.InstalledRegions(fid)
@@ -254,6 +265,7 @@ func (c *Controller) Stalled() bool { return c.stalled }
 func (c *Controller) Digest(f *packet.Frame, port *netsim.Port) {
 	if !c.alive || (c.DigestFilter != nil && c.DigestFilter(f)) {
 		c.DigestsDropped++
+		c.telInc(func(t *ctrlTelemetry) *telemetry.Counter { return t.digestsDropped })
 		return
 	}
 	pnum := port.Num
@@ -333,6 +345,7 @@ func (c *Controller) runEviction(fid uint16) {
 	rec.TableOps += c.rt.RemoveGrant(fid)
 	c.sw.cache.Invalidate(fid)
 	c.GuardEvictions++
+	c.telInc(func(t *ctrlTelemetry) *telemetry.Counter { return t.guardEvict })
 	if mac, ok := c.clients[fid]; ok {
 		notice := &packet.Active{Header: packet.ActiveHeader{
 			FID:   fid,
@@ -425,7 +438,7 @@ func (c *Controller) admit(fid uint16, req *packet.AllocRequest) {
 			resp.Header.SetType(packet.TypeAllocResp)
 			_ = c.sw.SendToHost(c.clients[fid], resp)
 			rec.End = c.eng.Now()
-			c.Records = append(c.Records, rec)
+			c.record(rec)
 			c.finish()
 		})
 		return
@@ -476,6 +489,7 @@ func (c *Controller) readmit(fid uint16, req *packet.AllocRequest, rec Provision
 		return
 	}
 	c.Readmissions++
+	c.telInc(func(t *ctrlTelemetry) *telemetry.Counter { return t.readmissions })
 	rec.Compute = c.costs.ComputeBase + time.Duration(res.MutantsTotal)*c.costs.ComputePerMut
 	rec.Reallocated = len(res.Reallocated)
 	c.after(rec.Compute, func() {
@@ -548,10 +562,11 @@ func (c *Controller) runSweep() {
 			unowned = append(unowned, sb{rep.Stage, block})
 		}
 		c.QuarantinedBlockCount++
+		c.telInc(func(t *ctrlTelemetry) *telemetry.Counter { return t.quarBlocks })
 	}
 	if len(perFID) == 0 && len(unowned) == 0 {
 		rec.End = c.eng.Now()
-		c.Records = append(c.Records, rec)
+		c.record(rec)
 		c.finish()
 		return
 	}
@@ -565,6 +580,7 @@ func (c *Controller) runSweep() {
 	for _, fid := range victims {
 		res, err := c.al.Evacuate(fid, perFID[fid])
 		c.Evacuations++
+		c.telInc(func(t *ctrlTelemetry) *telemetry.Counter { return t.evacuations })
 		if err != nil || res.Failed {
 			// Cannot re-place around the damage: evict the app entirely
 			// and tell the client, which restarts its lifecycle.
@@ -662,6 +678,7 @@ func (c *Controller) reallocPhase(rec ProvisionRecord, newPl *alloc.Placement, c
 				_ = c.sw.SendToHost(mac, c.responseFor(plByFID[fid], true))
 				rec.Escalations++
 				c.SnapshotEscalations++
+				c.telInc(func(t *ctrlTelemetry) *telemetry.Counter { return t.escalations })
 			}
 		}
 	})
@@ -669,6 +686,7 @@ func (c *Controller) reallocPhase(rec ProvisionRecord, newPl *alloc.Placement, c
 		if !done && len(pending) > 0 {
 			rec.TimedOut = true
 			c.SnapshotTimeouts++
+			c.telInc(func(t *ctrlTelemetry) *telemetry.Counter { return t.timeouts })
 		}
 		proceed()
 	})
@@ -739,7 +757,7 @@ func (c *Controller) applyPhase(rec ProvisionRecord, newPl *alloc.Placement, cha
 			}
 		}
 		rec.End = c.eng.Now()
-		c.Records = append(c.Records, rec)
+		c.record(rec)
 		c.finish()
 	})
 }
@@ -747,7 +765,7 @@ func (c *Controller) applyPhase(rec ProvisionRecord, newPl *alloc.Placement, cha
 func (c *Controller) concludeFailed(rec ProvisionRecord) {
 	rec.Failed = true
 	rec.End = c.eng.Now()
-	c.Records = append(c.Records, rec)
+	c.record(rec)
 	if !rec.Release {
 		c.respondFailure(rec.FID)
 	}

@@ -1,0 +1,93 @@
+package switchd
+
+import (
+	"activermt/internal/alloc"
+	"activermt/internal/telemetry"
+)
+
+// ctrlTelemetry instruments the control plane: one histogram per protocol
+// phase of the provisioning breakdown (Figure 8a — compute, snapshot window,
+// table updates) plus job and fault counters. All values are virtual-time
+// nanoseconds, matching the simulation clock the records are measured in.
+type ctrlTelemetry struct {
+	jobs         *telemetry.CounterVec // label: kind (admit/readmit/release/sweep/evict)
+	failures     *telemetry.Counter
+	provisionDur *telemetry.Histogram
+	snapshotWait *telemetry.Histogram
+	tableTime    *telemetry.Histogram
+
+	crashes        *telemetry.Counter
+	restarts       *telemetry.Counter
+	digestsDropped *telemetry.Counter
+	escalations    *telemetry.Counter
+	timeouts       *telemetry.Counter
+	evacuations    *telemetry.Counter
+	quarBlocks     *telemetry.Counter
+	guardQuar      *telemetry.Counter
+	guardEvict     *telemetry.Counter
+	readmissions   *telemetry.Counter
+}
+
+// AttachTelemetry registers the controller's metrics and wires the allocator
+// occupancy gauges. The alloc.Telemetry object deliberately outlives the
+// allocator: Crash replaces the books with a fresh instance and hands the
+// same gauge set over, so a restart resyncs instead of re-registering.
+func (c *Controller) AttachTelemetry(reg *telemetry.Registry) {
+	t := &ctrlTelemetry{
+		jobs:           reg.NewCounterVec("activermt_ctrl_jobs_total", "Control-plane jobs completed, by kind.", "kind"),
+		failures:       reg.NewCounter("activermt_ctrl_failures_total", "Control-plane jobs that concluded in failure."),
+		provisionDur:   reg.NewHistogram("activermt_ctrl_provision_duration_ns", "End-to-end provisioning time per job (virtual ns)."),
+		snapshotWait:   reg.NewHistogram("activermt_ctrl_snapshot_wait_ns", "Snapshot-window wait per reallocation (virtual ns)."),
+		tableTime:      reg.NewHistogram("activermt_ctrl_table_time_ns", "Table-update time per job (virtual ns)."),
+		crashes:        reg.NewCounter("activermt_ctrl_crashes_total", "Control-plane crashes injected."),
+		restarts:       reg.NewCounter("activermt_ctrl_restarts_total", "Control-plane restarts (table read-back recoveries)."),
+		digestsDropped: reg.NewCounter("activermt_ctrl_digests_dropped_total", "Digests dropped by a dead controller or the digest filter."),
+		escalations:    reg.NewCounter("activermt_ctrl_snapshot_escalations_total", "Realloc notices re-sent to laggard clients."),
+		timeouts:       reg.NewCounter("activermt_ctrl_snapshot_timeouts_total", "Snapshot windows ended by timeout."),
+		evacuations:    reg.NewCounter("activermt_ctrl_evacuations_total", "Applications re-placed around quarantined blocks."),
+		quarBlocks:     reg.NewCounter("activermt_ctrl_quarantined_blocks_total", "Blocks fenced off by sweep-and-repair."),
+		guardQuar:      reg.NewCounter("activermt_ctrl_guard_quarantines_total", "Guard-escalated tenant quarantines applied."),
+		guardEvict:     reg.NewCounter("activermt_ctrl_guard_evictions_total", "Guard-escalated tenant evictions applied."),
+		readmissions:   reg.NewCounter("activermt_ctrl_readmissions_total", "Recovered tenants re-admitted after a controller restart."),
+	}
+	c.tel = t
+	c.al.SetTelemetry(alloc.NewTelemetry(reg))
+}
+
+// record appends a provisioning record and mirrors it into the histograms.
+func (c *Controller) record(rec ProvisionRecord) {
+	c.Records = append(c.Records, rec)
+	t := c.tel
+	if t == nil {
+		return
+	}
+	kind := "admit"
+	switch {
+	case rec.Evict:
+		kind = "evict"
+	case rec.Sweep:
+		kind = "sweep"
+	case rec.Release:
+		kind = "release"
+	case rec.Readmit:
+		kind = "readmit"
+	}
+	t.jobs.With(kind).Inc()
+	if rec.Failed {
+		t.failures.Inc()
+	}
+	t.provisionDur.Observe(uint64(rec.End - rec.Start))
+	if rec.SnapshotWait > 0 {
+		t.snapshotWait.Observe(uint64(rec.SnapshotWait))
+	}
+	if rec.TableTime > 0 {
+		t.tableTime.Observe(uint64(rec.TableTime))
+	}
+}
+
+// telInc increments one mirrored fault counter when telemetry is attached.
+func (c *Controller) telInc(pick func(*ctrlTelemetry) *telemetry.Counter) {
+	if t := c.tel; t != nil {
+		pick(t).Inc()
+	}
+}

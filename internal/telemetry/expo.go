@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers per family, histogram families
+// expanded into cumulative _bucket/_sum/_count series with power-of-two le
+// bounds, vec children carrying their rendered label pair.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, ms := range s.Metrics {
+		if ms.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(ms.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(ms.Help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(ms.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(ms.Type)
+		bw.WriteByte('\n')
+		for _, smp := range ms.Samples {
+			if smp.Hist != nil {
+				writeHistogram(bw, ms.Name, &smp)
+				continue
+			}
+			bw.WriteString(ms.Name)
+			if smp.Labels != "" {
+				bw.WriteByte('{')
+				bw.WriteString(smp.Labels)
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatFloat(smp.Value, 'g', -1, 64))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram sample as cumulative buckets. Empty
+// buckets below the highest occupied one still print (Prometheus requires
+// cumulative monotonicity), but the tail of never-occupied buckets is
+// collapsed into the +Inf line to keep expositions readable.
+func writeHistogram(bw *bufio.Writer, name string, smp *Sample) {
+	h := smp.Hist
+	top := 0
+	for i, v := range h.Buckets {
+		if v != 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += h.Buckets[i]
+		bw.WriteString(name)
+		bw.WriteString(`_bucket{`)
+		if smp.Labels != "" {
+			bw.WriteString(smp.Labels)
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(strconv.FormatUint(BucketBound(i), 10))
+		bw.WriteString("\"} ")
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString(`_bucket{`)
+	if smp.Labels != "" {
+		bw.WriteString(smp.Labels)
+		bw.WriteByte(',')
+	}
+	bw.WriteString(`le="+Inf"} `)
+	bw.WriteString(strconv.FormatUint(h.Count, 10))
+	bw.WriteByte('\n')
+
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	if smp.Labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(smp.Labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(h.Sum, 10))
+	bw.WriteByte('\n')
+
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	if smp.Labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(smp.Labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(h.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// WriteJSON renders a snapshot as indented JSON.
+func WriteJSON(w io.Writer, s *Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -126,7 +126,7 @@ func TestAdversaryQuarantinedThenEvicted(t *testing.T) {
 	if led := tb.Guard.Tenant(1); led != nil && led.Total() != 0 {
 		t.Fatalf("victim ledger charged by forgery: %d violations", led.Total())
 	}
-	if tb.Guard.PortViolations == 0 {
+	if tb.Guard.PortViolations() == 0 {
 		t.Fatal("unauthenticated violations did not land on the port ledger")
 	}
 
@@ -340,7 +340,7 @@ func TestAdversarialTenantScenario(t *testing.T) {
 	if vl := tb.Guard.Tenant(1); vl != nil && vl.Total() != 0 {
 		t.Errorf("victim charged %d violations", vl.Total())
 	}
-	if tb.Guard.PortViolations == 0 {
+	if tb.Guard.PortViolations() == 0 {
 		t.Error("no port-attributed violations from the unauthenticated phases")
 	}
 	if adv.Sent == 0 {

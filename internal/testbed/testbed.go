@@ -19,6 +19,7 @@ import (
 	"activermt/internal/rmt"
 	"activermt/internal/runtime"
 	"activermt/internal/switchd"
+	"activermt/internal/telemetry"
 )
 
 // Config selects the testbed's parameters.
@@ -52,6 +53,10 @@ type Testbed struct {
 	Switch *switchd.Switch
 	Ctrl   *switchd.Controller
 	Guard  *guard.Guard // nil when Config.NoGuard
+
+	// Tel is the telemetry registry, non-nil after EnableTelemetry.
+	Tel      *telemetry.Registry
+	chaosTel *chaos.Telemetry
 
 	cfg      Config
 	nextPort int
@@ -127,11 +132,33 @@ func (tb *Testbed) AddClient(fid uint16, svc *client.Service) *client.Client {
 	return cl
 }
 
+// EnableTelemetry builds one registry and instruments every layer of the
+// testbed with it: runtime + device (packet counters, latency histogram,
+// per-stage occupancy), guard (violation counters, tenant-state gauges),
+// controller + allocator (provisioning histograms, per-tenant block gauges),
+// the program cache (hit ratio), and — via System() — the chaos event
+// counter. Idempotent: repeated calls return the same registry.
+func (tb *Testbed) EnableTelemetry() *telemetry.Registry {
+	if tb.Tel != nil {
+		return tb.Tel
+	}
+	reg := telemetry.NewRegistry()
+	tb.RT.AttachTelemetry(reg)
+	if tb.Guard != nil {
+		tb.Guard.AttachTelemetry(reg)
+	}
+	tb.Ctrl.AttachTelemetry(reg)
+	tb.Switch.ProgCache().AttachTelemetry(reg)
+	tb.chaosTel = chaos.NewTelemetry(reg)
+	tb.Tel = reg
+	return reg
+}
+
 // System exposes the assembled components to the chaos fault-injection
 // layer: scenarios built against this system act on the testbed's engine,
 // switch, controller, and runtime.
 func (tb *Testbed) System() *chaos.System {
-	return &chaos.System{Eng: tb.Eng, Switch: tb.Switch, Ctrl: tb.Ctrl, RT: tb.RT, Guard: tb.Guard}
+	return &chaos.System{Eng: tb.Eng, Switch: tb.Switch, Ctrl: tb.Ctrl, RT: tb.RT, Guard: tb.Guard, Tel: tb.chaosTel}
 }
 
 // SnapshotFn exposes the controller-side register read API for apps that
