@@ -143,10 +143,11 @@ RETURN
 }
 
 // BenchmarkPacketPath measures the allocation-free capsule hot path: one
-// cache-query execution through ExecuteCapsule with pooled scratch state.
-// The allocs/op figure is the regression gate — it must be 0 in steady
-// state (TestExecuteCapsuleZeroAlloc enforces it; this benchmark tracks the
-// ns/op trajectory alongside).
+// cache-query execution through ExecuteCapsule with pooled scratch state
+// and specialization on (the default), so steady-state iterations run
+// through the compiled plan. The allocs/op figure is the regression gate —
+// it must be 0 in steady state (TestExecuteCapsuleZeroAlloc enforces it;
+// this benchmark tracks the ns/op trajectory alongside).
 func BenchmarkPacketPath(b *testing.B) {
 	sys, ring, err := experiments.BuildPacketPathWorkload(8, 64)
 	if err != nil {
@@ -161,6 +162,54 @@ func BenchmarkPacketPath(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.RT.ExecuteCapsule(ring[i%len(ring)], res, sink)
+	}
+}
+
+// BenchmarkPacketPathInterpreter is BenchmarkPacketPath with specialization
+// forced off: every capsule runs through the interpreter. This is the
+// continuity series for the pre-specialization numbers and the denominator
+// of the specialized speedup gate.
+func BenchmarkPacketPathInterpreter(b *testing.B) {
+	sys, ring, err := experiments.BuildPacketPathWorkload(8, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.RT.SetSpecialization(false)
+	res := runtime.NewExecResult()
+	sink := sys.RT.NewExecSink()
+	for i := 0; i < len(ring); i++ { // warm scratch buffers
+		sys.RT.ExecuteCapsule(ring[i], res, sink)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.RT.ExecuteCapsule(ring[i%len(ring)], res, sink)
+	}
+}
+
+// BenchmarkPacketPathBatch runs the specialized path through ExecuteBatch
+// (batch size DefaultExecBatch): snapshot and plan-table loads amortized
+// across the batch. Reported per packet.
+func BenchmarkPacketPathBatch(b *testing.B) {
+	sys, ring, err := experiments.BuildPacketPathWorkload(8, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := runtime.NewExecResult()
+	sink := sys.RT.NewExecSink()
+	bs := runtime.DefaultExecBatch
+	for i := 0; i+bs <= len(ring); i += bs { // warm scratch buffers
+		sys.RT.ExecuteBatch(ring[i:i+bs], res, sink, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	off := 0
+	for i := 0; i < b.N; i += bs {
+		sys.RT.ExecuteBatch(ring[off:off+bs], res, sink, nil)
+		off += bs
+		if off+bs > len(ring) {
+			off = 0
+		}
 	}
 }
 

@@ -12,9 +12,10 @@
 // writes its CSV data series to DIR/<id>.csv (default: results/).
 //
 // -lanes N runs the packet-path throughput harness instead: capsule
-// executions per second through the interpreter, single-threaded fast path
-// versus the multi-lane dataplane at 1..N lanes, written to
-// BENCH_pipeline.json for the perf trajectory.
+// executions per second for the interpreter baseline, the specialized
+// (compiled-plan) path, the batched specialized path, and the multi-lane
+// dataplane at 1..N lanes, written to BENCH_pipeline.json for the perf
+// trajectory (gated by `make benchdiff`).
 package main
 
 import (
@@ -139,7 +140,9 @@ func runPipelineBench(n, packets int, path, telAddr string) error {
 	}
 	fmt.Printf("== packet-path throughput (%d tenants, cache workload, GOMAXPROCS=%d)\n",
 		res.Tenants, res.GoMaxProcs)
-	fmt.Printf("   %-12s %12.0f pps\n", "single", res.Single.PPS)
+	fmt.Printf("   %-12s %12.0f pps   (interpreter baseline)\n", "single", res.Single.PPS)
+	fmt.Printf("   %-12s %12.0f pps   %.2fx vs single\n", "specialized", res.Specialized.PPS, res.Specialized.Speedup)
+	fmt.Printf("   %-12s %12.0f pps   %.2fx vs single\n", "batch", res.Batch.PPS, res.Batch.Speedup)
 	fmt.Printf("   %-12s %12.0f pps   %+.1f%% telemetry overhead\n",
 		"single+tel", res.SingleTelemetry.PPS, res.TelemetryDelta)
 	for _, lr := range res.Lanes {

@@ -14,11 +14,12 @@ import (
 )
 
 // This file is the packet-path throughput harness behind `activebench
-// -lanes N`: it measures raw capsule executions per second through the
-// interpreter — single-threaded fast path versus the multi-lane dataplane —
-// on a multi-tenant cache workload. Unlike the figure experiments it
-// measures wall-clock, not virtual time, so it is not in the Registry; the
-// result goes to BENCH_pipeline.json for regression tracking.
+// -lanes N`: it measures raw capsule executions per second — interpreter
+// baseline, specialized (compiled-plan) path, batched specialized path, and
+// the multi-lane dataplane — on a multi-tenant cache workload. Unlike the
+// figure experiments it measures wall-clock, not virtual time, so it is not
+// in the Registry; the result goes to BENCH_pipeline.json for regression
+// tracking (see `make benchdiff`).
 
 // PipelineBenchConfig sizes the throughput run.
 type PipelineBenchConfig struct {
@@ -44,16 +45,22 @@ type LaneRate struct {
 }
 
 // PipelineBench is the harness result, serialized to BENCH_pipeline.json.
-// SingleTelemetry repeats the single-threaded measurement with the full
+// Single is the interpreter baseline (specialization forced off);
+// Specialized re-runs the same single-threaded loop with compiled-plan
+// execution on, and Batch runs the specialized path through ExecuteBatch.
+// SingleTelemetry repeats the interpreter measurement with the full
 // telemetry registry attached (counters, latency histogram, lane flight
-// recorder); TelemetryDeltaPct is its ns/op overhead relative to Single —
-// the ISSUE gate requires it to stay within 10%.
+// recorder); TelemetryDelta is its overhead relative to Single — the
+// regression gate requires it to stay within 10%, and the specialized and
+// batch speedups to stay at or above 1.5x.
 type PipelineBench struct {
 	Tenants         int        `json:"tenants"`
 	Ring            int        `json:"ring_per_tenant"`
 	GoMaxProcs      int        `json:"gomaxprocs"`
 	NumCPU          int        `json:"numcpu"`
 	Single          LaneRate   `json:"single"`
+	Specialized     LaneRate   `json:"specialized"`
+	Batch           LaneRate   `json:"batch"`
 	SingleTelemetry LaneRate   `json:"single_telemetry"`
 	TelemetryDelta  float64    `json:"telemetry_delta_pct"`
 	Lanes           []LaneRate `json:"lanes"`
@@ -159,9 +166,11 @@ func RunPipelineBench(cfg PipelineBenchConfig) (*PipelineBench, error) {
 	}
 
 	// Single-threaded fast path: one ExecResult, one sink, no dispatch.
-	// Measured twice — bare, then with the telemetry registry attached — so
-	// the instrumentation overhead is a first-class number in the result.
-	singleRun := func(withTelemetry bool) (LaneRate, error) {
+	// Measured four ways — interpreter (specialization forced off, the
+	// baseline all speedups are relative to), interpreter with the telemetry
+	// registry attached (so the instrumentation overhead is a first-class
+	// number), specialized, and specialized+batched.
+	singleRun := func(withTelemetry, specialize, batched bool) (LaneRate, error) {
 		sys, ring, err := buildPipelineWorkload(cfg)
 		if err != nil {
 			return LaneRate{}, err
@@ -173,16 +182,30 @@ func RunPipelineBench(cfg PipelineBenchConfig) (*PipelineBench, error) {
 			}
 			sys.RT.AttachTelemetry(reg)
 		}
+		sys.RT.SetSpecialization(specialize)
 		er := art.NewExecResult()
 		sink := sys.RT.NewExecSink()
-		// Warm the scratch buffers out of the measured window.
-		for i := 0; i < len(ring); i++ {
-			sys.RT.ExecuteCapsule(ring[i], er, sink)
+		run := func(n int) {
+			if batched {
+				bs := art.DefaultExecBatch
+				for done := 0; done < n; done += bs {
+					off := done % len(ring)
+					end := off + bs
+					if end > len(ring) {
+						end = len(ring)
+					}
+					sys.RT.ExecuteBatch(ring[off:end], er, sink, nil)
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					sys.RT.ExecuteCapsule(ring[i%len(ring)], er, sink)
+				}
+			}
 		}
+		// Warm the scratch buffers (and the plan cache) out of the window.
+		run(len(ring))
 		start := time.Now()
-		for i := 0; i < cfg.Packets; i++ {
-			sys.RT.ExecuteCapsule(ring[i%len(ring)], er, sink)
-		}
+		run(cfg.Packets)
 		el := time.Since(start)
 		sink.Path.FlushInto(sys.RT)
 		sink.Dev.FlushInto(sys.RT.Device())
@@ -195,12 +218,20 @@ func RunPipelineBench(cfg PipelineBenchConfig) (*PipelineBench, error) {
 		}, nil
 	}
 	var err error
-	if res.Single, err = singleRun(false); err != nil {
+	if res.Single, err = singleRun(false, false, false); err != nil {
 		return nil, err
 	}
-	if res.SingleTelemetry, err = singleRun(true); err != nil {
+	if res.Specialized, err = singleRun(false, true, false); err != nil {
 		return nil, err
 	}
+	if res.Batch, err = singleRun(false, true, true); err != nil {
+		return nil, err
+	}
+	if res.SingleTelemetry, err = singleRun(true, false, false); err != nil {
+		return nil, err
+	}
+	res.Specialized.Speedup = res.Specialized.PPS / res.Single.PPS
+	res.Batch.Speedup = res.Batch.PPS / res.Single.PPS
 	res.SingleTelemetry.Speedup = res.SingleTelemetry.PPS / res.Single.PPS
 	res.TelemetryDelta = (res.Single.PPS/res.SingleTelemetry.PPS - 1) * 100
 

@@ -19,6 +19,16 @@ import (
 // isa.Program is immutable and shared: the execution path copies its
 // instructions into the PHV and never writes through the pointer.
 //
+// Canonical-pointer contract: for as long as a version stays cached, every
+// decode of the same (FID, epoch, len, CRC32) returns the SAME *isa.Program
+// pointer. Downstream layers may therefore use the pointer as the version's
+// identity — the runtime's specialization layer keys compiled plans by it
+// (see internal/runtime/specialize.go), which is what lets a plan lookup be
+// one map probe instead of a re-hash of the program bytes. Eviction (cache
+// flush or Invalidate) only breaks the mapping for *future* decodes: a new
+// pointer simply compiles to a new plan, while the old plan dies with its
+// snapshot pair. Nothing may mutate a cached program through the pointer.
+//
 // A tenant can only collide CRC32 within its own (FID, epoch) keyspace, so
 // a crafted collision can corrupt nobody's programs but its own.
 
@@ -105,6 +115,16 @@ func (c *ProgCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Contains reports whether a program version is currently cached — used by
+// tests and operators to check invalidation without touching hit/miss
+// counters or side-effecting a decode.
+func (c *ProgCache) Contains(k ProgKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[k]
+	return ok
 }
 
 // Invalidate drops every cached version belonging to fid. Controllers call

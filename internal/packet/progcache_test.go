@@ -1,6 +1,7 @@
 package packet
 
 import (
+	"hash/crc32"
 	"testing"
 
 	"activermt/internal/isa"
@@ -159,6 +160,78 @@ func TestProgCacheFlushOnFull(t *testing.T) {
 	}
 	if hits, _, _ := c.Stats(); hits != 1 {
 		t.Fatalf("hits = %d, want 1 (last insert live after flush)", hits)
+	}
+}
+
+// progKeyOf computes the cache key a capsule's program bytes hash to —
+// mirroring lookupOrDecode so tests can probe Contains without a decode.
+func progKeyOf(t *testing.T, wire []byte, fid uint16, epoch uint8) ProgKey {
+	t.Helper()
+	raw := wire[InitialHeaderSize+ArgHeaderSize:]
+	n, ok := progWireLen(raw)
+	if !ok {
+		t.Fatal("no EOF in program bytes")
+	}
+	return ProgKey{FID: fid, Epoch: epoch, Len: uint16(n), Hash: crc32.ChecksumIEEE(raw[:n])}
+}
+
+// TestProgCacheCanonicalPointer pins the canonical-pointer contract the
+// runtime's plan table depends on: while a version stays cached, every decode
+// of the same (FID, epoch, bytes) aliases the SAME *isa.Program, a different
+// epoch is a different pointer, and Contains tracks exactly the liveness of
+// that mapping across Invalidate.
+func TestProgCacheCanonicalPointer(t *testing.T) {
+	c := NewProgCache(0)
+	wire := capsuleWire(t, 1, 3, cacheTestProg)
+	key := progKeyOf(t, wire, 1, 3)
+	if c.Contains(key) {
+		t.Fatal("empty cache claims to contain the key")
+	}
+
+	a1, err := DecodeCached(wire, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(key) {
+		t.Fatal("decoded version not reported by Contains")
+	}
+	a2, err := DecodeCached(wire, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Program != a2.Program {
+		t.Fatal("same version decoded to distinct program pointers")
+	}
+
+	// Same bytes under a bumped epoch: a distinct version, distinct pointer.
+	wire2 := capsuleWire(t, 1, 4, cacheTestProg)
+	a3, err := DecodeCached(wire2, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.Program == a1.Program {
+		t.Fatal("epoch bump reused the stale program pointer")
+	}
+	if !c.Contains(progKeyOf(t, wire2, 1, 4)) {
+		t.Fatal("new-epoch version not reported by Contains")
+	}
+
+	// Invalidate breaks the mapping for future decodes only: the next decode
+	// of the same bytes is a fresh miss with a fresh pointer, while holders of
+	// the old pointer (compiled plans) are unaffected by construction.
+	c.Invalidate(1)
+	if c.Contains(key) {
+		t.Fatal("Contains reports an invalidated version")
+	}
+	a4, err := DecodeCached(wire, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a4.Program == a1.Program {
+		t.Fatal("post-invalidation decode reused the evicted pointer")
+	}
+	if !c.Contains(key) {
+		t.Fatal("re-decoded version not reported by Contains")
 	}
 }
 

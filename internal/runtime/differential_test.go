@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -210,6 +211,168 @@ func TestDifferentialInterpreter(t *testing.T) {
 		if out.Active.Args != ref.data {
 			t.Fatalf("trial %d: data mismatch\nprogram:\n%s\npipeline: %#v\nreference: %#v",
 				trial, isa.Disassemble(p), out.Active.Args, ref.data)
+		}
+	}
+}
+
+// specOps extends safeOps with the switch-state opcodes the plan compiler
+// folds at compile time: memory accesses, translation, and forwarding —
+// the surface where a folding bug would diverge from the interpreter.
+var specOps = append(append([]isa.Opcode{}, safeOps...),
+	isa.OpMemRead, isa.OpMemWrite, isa.OpMemIncrement, isa.OpMemMinRead, isa.OpMemMinReadInc,
+	isa.OpAddrMask, isa.OpAddrOffset,
+	isa.OpRts, isa.OpCRts, isa.OpSetDst, isa.OpDrop, isa.OpReturn,
+)
+
+// genSpecProgram builds a random valid program over the full specializable
+// surface, with occasional FORKs (uncompilable — exercises the
+// cached-negative interpreter fallback) and forward branches.
+func genSpecProgram(rng *rand.Rand) *isa.Program {
+	n := 3 + rng.Intn(30)
+	p := &isa.Program{Name: "spec-fuzz"}
+	for i := 0; i < n; i++ {
+		op := specOps[rng.Intn(len(specOps))]
+		if rng.Intn(40) == 0 {
+			op = isa.OpFork
+		}
+		in := isa.Instruction{Op: op}
+		if in.Op.HasOperand() {
+			in.Operand = uint8(rng.Intn(6))
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	label := uint8(1)
+	for b := 0; b < 2 && label <= isa.MaxLabel; b++ {
+		src := rng.Intn(len(p.Instrs))
+		tgt := src + 1 + rng.Intn(len(p.Instrs)-src)
+		if tgt >= len(p.Instrs) {
+			continue
+		}
+		if p.Instrs[tgt].Label != 0 || p.Instrs[src].Op.IsBranch() {
+			continue
+		}
+		branchOps := []isa.Opcode{isa.OpCJump, isa.OpCJumpI, isa.OpUJump}
+		p.Instrs[src] = isa.Instruction{Op: branchOps[rng.Intn(3)], Operand: label}
+		p.Instrs[tgt].Label = label
+		label++
+	}
+	if err := p.Validate(); err != nil {
+		return genSpecProgram(rng)
+	}
+	return p
+}
+
+// TestDifferentialSpecializedVsInterpreter drives two identical runtimes —
+// one with specialization forced off (the interpreter oracle), one with it
+// on — through the same random stream of programs, grant reinstalls (epoch
+// bumps, moved regions), quarantine flips, privilege changes, revocations,
+// and unadmitted FIDs, and requires bit-identical wire outputs plus
+// identical runtime and device counters. Each capsule runs twice so both
+// the compile-inline and the cached-plan entries are exercised.
+func TestDifferentialSpecializedVsInterpreter(t *testing.T) {
+	ri := testRuntime(t) // interpreter oracle
+	rs := testRuntime(t) // specialized
+	ri.SetSpecialization(false)
+
+	resI, resS := NewExecResult(), NewExecResult()
+	sinkI, sinkS := ri.NewExecSink(), rs.NewExecSink()
+	rng := rand.New(rand.NewSource(0xA11CE))
+
+	grant := func(fid uint16, lo, hi uint32) {
+		for _, r := range []*Runtime{ri, rs} {
+			g := Grant{FID: fid}
+			for l := 0; l < 10; l++ {
+				g.Accesses = append(g.Accesses, AccessGrant{Logical: l, Lo: lo, Hi: hi})
+			}
+			if _, err := r.InstallGrant(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	grant(1, 0, 512)
+	grant(2, 512, 1024)
+	grant(3, 1024, 1536)
+
+	for trial := 0; trial < 2000; trial++ {
+		// Occasionally commit control-plane changes, identically on both:
+		// each one republishes the snapshots and invalidates rs's plans.
+		switch rng.Intn(20) {
+		case 0: // epoch bump + region move
+			fid := uint16(1 + rng.Intn(3))
+			base := uint32(rng.Intn(6)) * 512
+			grant(fid, base, base+512)
+		case 1: // quarantine flip
+			fid := uint16(1 + rng.Intn(3))
+			if ri.Quarantined(fid) {
+				ri.Reactivate(fid)
+				rs.Reactivate(fid)
+			} else {
+				ri.Deactivate(fid)
+				rs.Deactivate(fid)
+			}
+		case 2: // privilege change
+			fid := uint16(1 + rng.Intn(3))
+			mask := uint8(0)
+			if rng.Intn(2) == 0 {
+				mask = PrivForwarding
+			}
+			ri.SetPrivilege(fid, mask)
+			rs.SetPrivilege(fid, mask)
+		case 3: // revocation (a later grant() re-admits)
+			fid := uint16(1 + rng.Intn(3))
+			ri.RemoveGrant(fid)
+			rs.RemoveGrant(fid)
+		}
+
+		p := genSpecProgram(rng)
+		fid := uint16(1 + rng.Intn(4)) // FID 4 is never admitted: passthrough
+		args := [4]uint32{rng.Uint32(), rng.Uint32(), uint32(rng.Intn(2048)), rng.Uint32()}
+		var flags uint16
+		if rng.Intn(2) == 0 {
+			flags |= packet.FlagPreload
+		}
+		if rng.Intn(3) == 0 {
+			flags |= packet.FlagNoShrink
+		}
+
+		for rep := 0; rep < 2; rep++ {
+			ai := progPacket(fid, p, args)
+			as := progPacket(fid, p, args)
+			ai.Header.Flags |= flags
+			as.Header.Flags |= flags
+			want := execFast(ri, ai, resI, sinkI)
+			got := execFast(rs, as, resS, sinkS)
+			compareOutputs(t, fmt.Sprintf("trial %d rep %d", trial, rep), want, got)
+		}
+	}
+
+	if rs.SpecializedRuns == 0 {
+		t.Fatal("specialized path never ran")
+	}
+	if ri.SpecializedRuns != 0 {
+		t.Fatal("interpreter oracle ran a specialized packet")
+	}
+	if ri.ProgramsRun != rs.ProgramsRun || ri.Passthrough != rs.Passthrough ||
+		ri.Faults != rs.Faults || ri.QuarantineDrops != rs.QuarantineDrops ||
+		ri.RevokedDrops != rs.RevokedDrops || ri.PrivSuppressed != rs.PrivSuppressed {
+		t.Fatalf("runtime counters diverged:\ninterp %d/%d/%d/%d/%d/%d\nspec   %d/%d/%d/%d/%d/%d",
+			ri.ProgramsRun, ri.Passthrough, ri.Faults, ri.QuarantineDrops, ri.RevokedDrops, ri.PrivSuppressed,
+			rs.ProgramsRun, rs.Passthrough, rs.Faults, rs.QuarantineDrops, rs.RevokedDrops, rs.PrivSuppressed)
+	}
+	di, ds := ri.Device(), rs.Device()
+	if di.PacketsIn != ds.PacketsIn || di.PacketsDropped != ds.PacketsDropped || di.Recirculations != ds.Recirculations {
+		t.Fatalf("device counters diverged: %d/%d/%d vs %d/%d/%d",
+			di.PacketsIn, di.PacketsDropped, di.Recirculations,
+			ds.PacketsIn, ds.PacketsDropped, ds.Recirculations)
+	}
+	for s := 0; s < di.NumStages(); s++ {
+		si, ss := di.Stage(s), ds.Stage(s)
+		if si.Executed != ss.Executed {
+			t.Fatalf("stage %d executed %d vs %d", s, si.Executed, ss.Executed)
+		}
+		if si.Registers.Reads != ss.Registers.Reads || si.Registers.Writes != ss.Registers.Writes ||
+			si.Registers.Faults != ss.Registers.Faults {
+			t.Fatalf("stage %d register counters diverged", s)
 		}
 	}
 }

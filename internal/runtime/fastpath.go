@@ -56,6 +56,7 @@ type PathStats struct {
 	ProgramsRun, Passthrough, Faults uint64
 	PrivSuppressed                   uint64
 	QuarantineDrops, RevokedDrops    uint64
+	Specialized                      uint64
 }
 
 // FlushInto drains the counters into the runtime's legacy fields and resets
@@ -68,6 +69,7 @@ func (s *PathStats) FlushInto(r *Runtime) {
 	r.PrivSuppressed += s.PrivSuppressed
 	r.QuarantineDrops += s.QuarantineDrops
 	r.RevokedDrops += s.RevokedDrops
+	r.SpecializedRuns += s.Specialized
 	if t := r.tel; t != nil {
 		// Mirror the merge into the shared telemetry counters; zero deltas
 		// skipped so the per-packet compat flush stays a few atomic adds.
@@ -89,6 +91,9 @@ func (s *PathStats) FlushInto(r *Runtime) {
 		if s.RevokedDrops != 0 {
 			t.RevokedDrops.Add(s.RevokedDrops)
 		}
+		if s.Specialized != 0 {
+			t.Specialized.Add(s.Specialized)
+		}
 	}
 	*s = PathStats{}
 }
@@ -105,16 +110,23 @@ type ExecSink struct {
 	// Single-writer like the rest of the sink; the scrape goroutine copies
 	// it out under the recorder's own mutex.
 	FR *telemetry.FlightRecorder
+
+	// lat is the bounded per-FID latency recorder (nil when telemetry is
+	// off). Only the batch path records into it — ExecuteBatch observes per
+	// packet and flushes once per batch — so the single-packet path's
+	// telemetry overhead stays unchanged.
+	lat *latVec
 }
 
 // NewExecSink returns a sink sized for the runtime's pipeline. With
 // telemetry attached, the sink carries its own flight recorder under a
-// fresh lane id.
+// fresh lane id and a per-FID latency recorder for the batch path.
 func (r *Runtime) NewExecSink() *ExecSink {
 	s := &ExecSink{Dev: rmt.NewExecStats(r.dev.NumStages())}
 	if t := r.tel; t != nil {
 		s.FR = telemetry.NewFlightRecorder(int(t.laneSeq.Add(1)), telemetry.DefaultFlightSize, telemetry.DefaultFlightPeriod)
 		t.reg.AttachFlight(s.FR)
+		s.lat = newLatVec(t.PacketLatFID)
 	}
 	return s
 }
@@ -166,6 +178,11 @@ type ExecResult struct {
 	phv     *rmt.PHV
 	devOuts []*rmt.PHV
 	slots   []*outSlot
+
+	// memo is the direct-mapped plan memo (see specialize.go): single-writer
+	// like the rest of the scratch state, validated per hit by plan-table and
+	// program pointer identity.
+	memo [planMemoSize]planMemoEntry
 }
 
 // NewExecResult returns an ExecResult ready for ExecuteCapsule.
@@ -182,6 +199,7 @@ func GetExecResult() *ExecResult { return execResultPool.Get().(*ExecResult) }
 // retain any Output obtained from it.
 func PutExecResult(res *ExecResult) {
 	res.Outputs = res.Outputs[:0]
+	res.memo = [planMemoSize]planMemoEntry{} // drop plan references across owners
 	execResultPool.Put(res)
 }
 
@@ -201,23 +219,72 @@ func (res *ExecResult) addOutput(s *outSlot) { res.Outputs = append(res.Outputs,
 // the allocation-free equivalent of ExecuteProgram: admission checks read
 // the published control snapshot, the PHV and output capsules are reused,
 // and guard notifications are buffered in the sink instead of delivered
-// inline.
+// inline. Admitted programs execute through their compiled plan when one is
+// (or can be) cached for the current snapshot pair; everything else takes
+// the interpreter (see specialize.go).
 //
 // Unlike ExecuteProgram, refused packets (revoked/quarantined/throttled) do
 // not mutate the input capsule's flags: the FlagFailed marking is applied to
 // the copied output capsule, which is what goes on the wire. The input may
 // therefore be a pooled buffer reused by the caller.
 func (r *Runtime) ExecuteCapsule(a *packet.Active, res *ExecResult, sink *ExecSink) {
+	r.executeOne(a, res, sink, r.view(), r.dev.View(), r.planTab.Load())
+}
+
+// executeOne is ExecuteCapsule against explicitly loaded snapshots, shared
+// by the single-packet and batch entry points.
+func (r *Runtime) executeOne(a *packet.Active, res *ExecResult, sink *ExecSink, cv *ctrlView, pv *rmt.PipeView, tab *planTable) {
 	res.Outputs = res.Outputs[:0]
-	lat := r.dev.Config().PassLatency
+	lat := r.passLat
 	if a.Program == nil {
 		s := res.slot(0)
 		s.out = Output{Active: a, Latency: lat}
 		res.addOutput(s)
 		return
 	}
-	cv := r.view()
 	fid := a.Header.FID
+	// Specialized entry: usable only when the plan table matches the loaded
+	// snapshot pair by pointer identity (a publish in between unreaches it).
+	// A cached plan exists only for a FID that passed the admission checks
+	// under this exact control view, so a hit skips the revoked/admitted map
+	// lookups; the quarantine mark is folded into the plan and only the
+	// packet-dependent checks (FlagMemSync, recirculation budget) remain.
+	spec := tab != nil && tab.cv == cv && tab.pv == pv &&
+		!r.specOff.Load() && !r.dev.TraceEnabled()
+	if spec {
+		// The direct-mapped memo remembers the plan this executor last
+		// resolved for the FID's slot; a hit (validated by table and program
+		// pointer identity) skips the plan map's hash entirely.
+		m := &res.memo[int(fid)&(planMemoSize-1)]
+		pl := m.pl
+		if m.tab != tab || m.prog != a.Program || m.fid != fid {
+			pl = tab.plans[planKey{prog: a.Program, fid: fid}]
+			if pl != nil {
+				*m = planMemoEntry{tab: tab, prog: a.Program, fid: fid, pl: pl}
+			}
+		}
+		if pl != nil {
+			if pl.rp != nil {
+				if pl.quarantined && a.Header.Flags&packet.FlagMemSync == 0 {
+					sink.Path.QuarantineDrops++
+					sink.flightRefusal(cv, fid, telemetry.VerdictQuarantined)
+					res.hardDrop(a, lat)
+					return
+				}
+				if !r.RecircAllowed(fid, a.Program.Len()) {
+					sink.Events = append(sink.Events, GuardEvent{Kind: GuardEventRecircThrottled, FID: fid})
+					sink.flightRefusal(cv, fid, telemetry.VerdictThrottled)
+					res.hardDrop(a, lat)
+					return
+				}
+				r.execSpecialized(a, pl, res, sink, cv, fid)
+				return
+			}
+			// Cached negative (FORK or otherwise uncompilable): interpret,
+			// and skip the compile retry below.
+			spec = false
+		}
+	}
 	if cv.revoked[fid] {
 		sink.Path.RevokedDrops++
 		sink.Events = append(sink.Events, GuardEvent{Kind: GuardEventRevokedDrop, FID: fid})
@@ -246,6 +313,16 @@ func (r *Runtime) ExecuteCapsule(a *packet.Active, res *ExecResult, sink *ExecSi
 		sink.flightRefusal(cv, fid, telemetry.VerdictThrottled)
 		res.hardDrop(a, lat)
 		return
+	}
+	if spec {
+		// First sighting of this program version under the current
+		// snapshots, past all admission checks: compile (cached for every
+		// subsequent packet) and execute the plan when one comes back.
+		pl := r.compilePlan(tab, planKey{prog: a.Program, fid: fid})
+		if pl.rp != nil {
+			r.execSpecialized(a, pl, res, sink, cv, fid)
+			return
+		}
 	}
 	sink.Path.ProgramsRun++
 

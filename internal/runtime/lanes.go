@@ -71,6 +71,9 @@ type laneWorker struct {
 	id   int
 	res  *ExecResult
 	sink *ExecSink
+	// emit delivers one capsule's outputs to l.Sink; built lazily on first
+	// use so the closure is allocated once per worker, not per batch.
+	emit func(a *packet.Active, outs []*Output)
 }
 
 // DefaultLaneBatch is the dispatch batch size: large enough to amortize
@@ -240,14 +243,25 @@ func (l *Lanes) Stop() {
 func (l *Lanes) runLane(w *laneWorker) {
 	defer l.wg.Done()
 	for batch := range l.chans[w.id] {
-		for _, a := range batch {
-			l.rt.ExecuteCapsule(a, w.res, w.sink)
-			if l.Sink != nil {
-				for _, out := range w.res.Outputs {
-					l.Sink(w.id, out)
+		// Whole-batch execution: snapshots and the plan table are loaded
+		// once per dequeued batch instead of once per capsule, and the
+		// per-FID latency recorder flushes once per batch — this is what
+		// removed the per-packet hand-off overhead that made lanes slower
+		// than the single-threaded loop.
+		emit := w.emit
+		if l.Sink != nil {
+			if emit == nil {
+				w.emit = func(a *packet.Active, outs []*Output) {
+					for _, out := range outs {
+						l.Sink(w.id, out)
+					}
 				}
+				emit = w.emit
 			}
+		} else {
+			emit = nil
 		}
+		l.rt.ExecuteBatch(batch, w.res, w.sink, emit)
 		n := uint64(len(batch))
 		select {
 		case l.free <- batch[:0]:

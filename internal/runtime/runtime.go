@@ -68,6 +68,19 @@ type Runtime struct {
 	snap    atomic.Pointer[ctrlView]
 	snapGen uint64
 
+	// passLat caches the device's per-pass latency so the hot path does not
+	// copy the whole Config struct per packet. Immutable after New.
+	passLat time.Duration
+
+	// Specialization state (see specialize.go): planTab is the published
+	// compiled-plan table for the current snapshot pair, planMu serializes
+	// plan inserts against table resets, specOff disables the specialized
+	// path, and planCompiles counts compilations.
+	planTab      atomic.Pointer[planTable]
+	planMu       sync.Mutex
+	specOff      atomic.Bool
+	planCompiles atomic.Uint64
+
 	// Telemetry wiring (nil when disabled; see telemetry.go). flight is
 	// the single-threaded path's capsule recorder; telLanes exposes the
 	// active Lanes instance to the queue-depth gauge.
@@ -79,6 +92,7 @@ type Runtime struct {
 	ProgramsRun, Passthrough, Faults uint64
 	RecircThrottled, PrivSuppressed  uint64
 	QuarantineDrops, RevokedDrops    uint64
+	SpecializedRuns                  uint64 // capsules executed through a compiled plan
 	TableOps                         uint64 // cumulative table update operations
 }
 
@@ -113,6 +127,7 @@ func New(cfg rmt.Config) (*Runtime, error) {
 		quarantined: make(map[uint16]bool),
 		epochs:      make(map[uint16]uint8),
 		revoked:     make(map[uint16]bool),
+		passLat:     dev.Config().PassLatency,
 	}
 	r.installActions(dev)
 	r.publish()

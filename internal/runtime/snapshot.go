@@ -83,6 +83,12 @@ func (r *Runtime) publish() {
 		}
 	}
 	r.snap.Store(v)
+	// Invalidate every compiled plan wholesale: plans fold admission,
+	// privilege, protection, and translation state from the snapshot pair
+	// they were built against, and this commit may have changed any of it.
+	// The fresh table is keyed to the new pair, so packets recompile (once
+	// per program version) against the state just published.
+	r.resetPlans(v)
 	if r.tel != nil {
 		r.syncGauges(v)
 	}

@@ -1,0 +1,408 @@
+package runtime
+
+import (
+	"strconv"
+
+	"activermt/internal/isa"
+	"activermt/internal/packet"
+	"activermt/internal/rmt"
+	"activermt/internal/telemetry"
+)
+
+// This file is the specialization layer of the packet hot path. The decoded-
+// program cache already canonicalizes programs per (FID, epoch, len, CRC32):
+// every capsule carrying the same program version under the same grant epoch
+// resolves to one shared *isa.Program. The runtime exploits that identity to
+// compile each admitted program version once — against the exact published
+// snapshot pair (ctrlView, rmt.PipeView) — into a straight-line rmt.Plan,
+// then executes packets through the plan instead of the interpreter.
+//
+// Validity is pointer identity, never comparison: a plan table remembers the
+// snapshot pair it was built against, publish() installs a fresh empty table
+// after every snapshot swap, and the hot path uses a table only when its
+// snapshot pointers equal the ones just loaded. A grant install, epoch bump,
+// quarantine flip, privilege change, or revocation all funnel through
+// publish(), so every one of them unreaches the previous table wholesale; a
+// stale plan cannot execute because nothing can reach it.
+//
+// The interpreter remains the always-correct fallback: unknown or unadmitted
+// FIDs, programs the compiler refuses (FORK), trace-hook sessions, a full
+// plan table, and the window between a publish and the first recompile all
+// run through the unchanged interpreter path.
+
+// planKey identifies one compiled plan: the canonical decoded-program
+// pointer (which already encodes FID, grant epoch, length, and CRC32 — see
+// packet.ProgCache) plus the executing FID, so a capsule replaying another
+// tenant's cached program body still gets its own bounds folded in.
+type planKey struct {
+	prog *isa.Program
+	fid  uint16
+}
+
+// compiledPlan is the runtime-side wrapper of one compiled program: the
+// privilege-rewritten instruction image the output encoder slices from, the
+// device plan (nil when the program is not specializable — cached so the hot
+// path stops retrying), and the admission facts folded at compile time.
+type compiledPlan struct {
+	rp     *rmt.Plan
+	instrs []isa.Instruction
+	// suppressed is the number of privileged instructions rewritten to NOP
+	// at compile time; the interpreter counts suppressions per packet, so
+	// the specialized path adds the same amount for every packet executed.
+	suppressed uint64
+	// quarantined snapshots the FID's quarantine mark under the compile
+	// view: plans exist only for admitted, unrevoked FIDs (compilation runs
+	// after the admission checks), so this is the only per-FID admission
+	// flag the specialized entry still has to consult.
+	quarantined bool
+	// preMarked notes that the wire image arrived with Executed bits already
+	// set on some headers, forcing the output encoder onto its filtering
+	// slow path to reproduce the interpreter's shrink exactly.
+	preMarked bool
+}
+
+// planMemoSize is the per-ExecResult direct-mapped plan memo size (a power
+// of two). The memo short-circuits the plan-table map hash for the FIDs an
+// executor is actively serving; a collision or a table swap just falls back
+// to the map lookup.
+const planMemoSize = 16
+
+// planMemoEntry caches one resolved plan, validated by table pointer (which
+// pins the snapshot pair) and canonical program pointer.
+type planMemoEntry struct {
+	tab  *planTable
+	prog *isa.Program
+	fid  uint16
+	pl   *compiledPlan
+}
+
+// planTable maps program versions to compiled plans under one snapshot pair.
+// Tables are copy-on-write: lookups walk the map lock-free while inserts
+// (rare — once per program version per publish) build a new table under
+// planMu and republish the pointer.
+type planTable struct {
+	cv    *ctrlView
+	pv    *rmt.PipeView
+	plans map[planKey]*compiledPlan
+}
+
+// maxPlans bounds a plan table. Overflowing compiles still execute their
+// packet through a one-shot plan; they are just not cached.
+const maxPlans = 4096
+
+// resetPlans installs a fresh empty plan table for the current snapshot
+// pair. Called (under planMu) from publish() after every snapshot swap.
+func (r *Runtime) resetPlans(cv *ctrlView) {
+	r.planMu.Lock()
+	r.planTab.Store(&planTable{cv: cv, pv: r.dev.View(), plans: make(map[planKey]*compiledPlan)})
+	r.planMu.Unlock()
+}
+
+// SetSpecialization enables or disables compiled-plan execution (enabled by
+// default). Disabling it forces every packet through the interpreter — the
+// honest baseline for benchmarks and differential tests.
+func (r *Runtime) SetSpecialization(on bool) { r.specOff.Store(!on) }
+
+// SpecializationEnabled reports whether compiled-plan execution is enabled.
+func (r *Runtime) SpecializationEnabled() bool { return !r.specOff.Load() }
+
+// PlanCompiles returns the number of plan compilations performed.
+func (r *Runtime) PlanCompiles() uint64 { return r.planCompiles.Load() }
+
+// compilePlan compiles key's program under tab's snapshot pair and caches
+// the result in a republished copy-on-write table. The caller has already
+// passed the admission checks for key.fid under tab.cv. If a control commit
+// republished the snapshots since the caller loaded tab, the plan is built
+// against the caller's (still consistent) pair but not cached — the
+// superseded table must not be resurrected over the fresh one.
+func (r *Runtime) compilePlan(tab *planTable, key planKey) *compiledPlan {
+	r.planMu.Lock()
+	defer r.planMu.Unlock()
+	cur := r.planTab.Load()
+	if cur != tab {
+		if pl, ok := cur.plans[key]; ok && cur.cv == tab.cv && cur.pv == tab.pv {
+			return pl
+		}
+		if cur.cv != tab.cv || cur.pv != tab.pv {
+			return r.buildPlan(tab.cv, tab.pv, key)
+		}
+		tab = cur
+	}
+	if pl, ok := tab.plans[key]; ok {
+		return pl
+	}
+	pl := r.buildPlan(tab.cv, tab.pv, key)
+	if len(tab.plans) < maxPlans {
+		next := &planTable{cv: tab.cv, pv: tab.pv, plans: make(map[planKey]*compiledPlan, len(tab.plans)+1)}
+		for k, v := range tab.plans {
+			next.plans[k] = v
+		}
+		next.plans[key] = pl
+		r.planTab.Store(next)
+	}
+	return pl
+}
+
+// buildPlan folds privilege and compiles the device plan for one program
+// version under an explicit snapshot pair.
+func (r *Runtime) buildPlan(cv *ctrlView, pv *rmt.PipeView, key planKey) *compiledPlan {
+	cp := &compiledPlan{
+		instrs:      append([]isa.Instruction(nil), key.prog.Instrs...),
+		quarantined: cv.quarantined[key.fid],
+	}
+	mask := ^uint8(0)
+	if cv.hasPriv {
+		if m, ok := cv.privilege[key.fid]; ok {
+			mask = m
+		}
+	}
+	if mask&PrivForwarding == 0 {
+		for i := range cp.instrs {
+			switch cp.instrs[i].Op {
+			case isa.OpSetDst, isa.OpFork, isa.OpDrop:
+				cp.instrs[i].Op = isa.OpNop
+				cp.suppressed++
+			}
+		}
+	}
+	for i := range cp.instrs {
+		if cp.instrs[i].Executed {
+			cp.preMarked = true
+			break
+		}
+	}
+	cp.rp = r.dev.CompilePlan(key.fid, cp.instrs, pv)
+	r.planCompiles.Add(1)
+	if t := r.tel; t != nil {
+		t.PlanCompiles.Inc()
+	}
+	return cp
+}
+
+// execSpecialized runs one admitted capsule through its compiled plan. The
+// caller has performed the admission checks; this mirrors the interpreter
+// tail of executeOne (PHV fill, execution, fault event, output encoding,
+// flight sampling) with the plan executor in place of ExecInto. The
+// instruction image never enters the PHV: the plan carries it, and the
+// encoder rebuilds the output body from the image plus the exit index.
+func (r *Runtime) execSpecialized(a *packet.Active, pl *compiledPlan, res *ExecResult, sink *ExecSink, cv *ctrlView, fid uint16) {
+	phv := res.phv
+	phv.Reset()
+	phv.FID = fid
+	phv.Data = a.Args
+	if a.Header.Flags&packet.FlagPreload != 0 {
+		phv.MAR = a.Args[2]
+		phv.MBR = a.Args[0]
+	}
+	if tup, ok := packet.ParseFiveTuple(a.Payload); ok {
+		phv.TupleWords = tup.WordsArray()
+	}
+	exit := r.dev.ExecPlan(pl.rp, phv, sink.Dev)
+	sink.Path.ProgramsRun++
+	sink.Path.Specialized++
+	sink.Path.PrivSuppressed += pl.suppressed
+	if phv.Faulted {
+		sink.Path.Faults++
+		sink.Events = append(sink.Events, GuardEvent{
+			Kind: GuardEventMemFault, FID: fid,
+			Stage: phv.FaultStage, Addr: phv.FaultAddr,
+			Owner: phv.FaultOwner, Owned: phv.FaultOwned,
+		})
+	}
+	s := res.slot(0)
+	r.encodePlanOutput(a, phv, pl, exit, s)
+	res.addOutput(s)
+	if fr := sink.FR; fr != nil {
+		forced := phv.Faulted || phv.Dropped
+		if fr.ShouldSample() || forced {
+			v := telemetry.VerdictExecuted
+			if phv.Dropped {
+				v = telemetry.VerdictDropped
+			}
+			fr.Record(telemetry.FlightEntry{
+				FID: fid, Epoch: cv.epochs[fid], Verdict: v,
+				Stages: uint16(phv.StagesRun), Passes: uint8(phv.Passes),
+				Faulted: phv.Faulted, Addr: phv.MAR, FaultAddr: phv.FaultAddr,
+			})
+		}
+	}
+}
+
+// encodePlanOutput rebuilds the output capsule after a plan execution. The
+// plan path never copies the instruction image into the PHV, so the shrink
+// that encodeOutputInto derives from per-slot Executed flags is derived here
+// from the exit index instead: the interpreter marks exactly the first exit
+// headers, so the shrunk body is the image's tail — one append of a slice
+// instead of a per-instruction filter loop.
+func (r *Runtime) encodePlanOutput(in *packet.Active, p *rmt.PHV, pl *compiledPlan, exit int, s *outSlot) {
+	hdr := in.Header
+	hdr.Flags |= packet.FlagFromSwch
+	if p.Complete {
+		hdr.Flags |= packet.FlagDone
+	}
+	if p.ToSender {
+		hdr.Flags |= packet.FlagRTS
+	}
+	if p.Dropped {
+		hdr.Flags |= packet.FlagFailed
+	}
+
+	s.prog.Name = in.Program.Name
+	instrs := pl.instrs
+	switch {
+	case in.Header.Flags&packet.FlagNoShrink != 0:
+		// Keep every header, the traversed prefix marked Executed; marks
+		// pre-set on the wire image survive the copy, as they survive the
+		// interpreter's per-slot OR.
+		s.prog.Instrs = append(s.prog.Instrs[:0], instrs...)
+		for i := 0; i < exit; i++ {
+			s.prog.Instrs[i].Executed = true
+		}
+	case !pl.preMarked:
+		s.prog.Instrs = append(s.prog.Instrs[:0], instrs[exit:]...)
+	default:
+		// Rare: the wire image arrived with Executed bits already set; the
+		// interpreter's shrink drops those headers too.
+		s.prog.Instrs = s.prog.Instrs[:0]
+		for i, instr := range instrs {
+			if i < exit || instr.Executed {
+				continue
+			}
+			s.prog.Instrs = append(s.prog.Instrs, instr)
+		}
+	}
+
+	s.act = packet.Active{
+		Header:  hdr,
+		Args:    p.Data,
+		Program: &s.prog,
+		Payload: in.Payload,
+	}
+	s.act.Header.SetType(packet.TypeProgram)
+	s.out = Output{
+		Active:   &s.act,
+		ToSender: p.ToSender,
+		DstSet:   p.DstSet,
+		Dst:      p.Dst,
+		Dropped:  p.Dropped,
+		IsClone:  p.IsClone,
+		Executed: true,
+		Latency:  p.Latency,
+		Passes:   p.Passes,
+	}
+}
+
+// DefaultExecBatch is the batch size ExecuteBatch callers should use: large
+// enough to amortize the snapshot loads and the per-FID latency flush,
+// small enough to keep per-packet output delivery prompt.
+const DefaultExecBatch = 32
+
+// ExecuteBatch runs a batch of capsules back to back against one loaded
+// snapshot triple (control view, pipeline view, plan table), amortizing the
+// atomic loads and the per-FID latency flush across the batch. Each
+// capsule's outputs are delivered to emit (when non-nil) immediately after
+// it executes and are invalid once the next capsule starts; emit must copy
+// anything it retains. Executed-capsule latencies are recorded into the
+// sink's per-FID recorder (telemetry only) and flushed once per batch.
+//
+// Snapshot semantics are per batch instead of per packet: a control commit
+// published mid-batch takes effect from the next batch, exactly as a commit
+// mid-packet takes effect from the next packet on the single path.
+func (r *Runtime) ExecuteBatch(batch []*packet.Active, res *ExecResult, sink *ExecSink, emit func(a *packet.Active, outs []*Output)) {
+	cv := r.view()
+	pv := r.dev.View()
+	tab := r.planTab.Load()
+	lv := sink.lat
+	for _, a := range batch {
+		r.executeOne(a, res, sink, cv, pv, tab)
+		if lv != nil {
+			if outs := res.Outputs; len(outs) != 0 && outs[0].Executed {
+				lv.observe(a.Header.FID, uint64(outs[0].Latency))
+			}
+		}
+		if emit != nil {
+			emit(a, res.Outputs)
+		}
+	}
+	if lv != nil {
+		lv.flush()
+	}
+}
+
+// latVecSlots is the per-sink cardinality bound of the per-FID latency
+// recorder: up to this many distinct FIDs get their own histogram child;
+// the rest fold into the "other" child.
+const latVecSlots = 64
+
+// latSlot is one FID's lane-local latency accumulator plus its memoized
+// registry child (resolved at flush time, then cached — so steady-state
+// flushes never touch the vec's mutex map or format a label).
+type latSlot struct {
+	fid  uint16
+	used bool
+	h    telemetry.HistLocal
+	dst  *telemetry.Histogram
+}
+
+// latVec accumulates per-FID packet latencies lane-locally with bounded
+// cardinality. observe is two plain stores plus an open-addressed probe (no
+// allocation, no atomics); flush — called once per batch — drains the
+// touched slots into the shared HistogramVec children.
+type latVec struct {
+	vec         *telemetry.HistogramVec
+	slots       [latVecSlots]latSlot
+	overflow    telemetry.HistLocal
+	overflowDst *telemetry.Histogram
+	touched     []*latSlot
+	overflowHot bool
+}
+
+func newLatVec(vec *telemetry.HistogramVec) *latVec {
+	return &latVec{vec: vec, touched: make([]*latSlot, 0, latVecSlots)}
+}
+
+// latProbes bounds the linear probe: FIDs that cannot claim a slot within
+// this many steps fold into the overflow child.
+const latProbes = 8
+
+func (lv *latVec) observe(fid uint16, lat uint64) {
+	i := int(uint32(fid)*2654435761>>26) & (latVecSlots - 1)
+	for p := 0; p < latProbes; p++ {
+		s := &lv.slots[(i+p)&(latVecSlots-1)]
+		if !s.used {
+			s.used = true
+			s.fid = fid
+		}
+		if s.fid == fid {
+			if s.h.Count == 0 {
+				lv.touched = append(lv.touched, s)
+			}
+			s.h.Observe(lat)
+			return
+		}
+	}
+	if lv.overflow.Count == 0 {
+		lv.overflowHot = true
+	}
+	lv.overflow.Observe(lat)
+}
+
+// flush drains every touched accumulator into its registry child. First
+// flush per FID resolves (and caches) the child handle; steady-state flushes
+// are HistLocal merges only.
+func (lv *latVec) flush() {
+	for _, s := range lv.touched {
+		if s.dst == nil {
+			s.dst = lv.vec.With(strconv.FormatUint(uint64(s.fid), 10))
+		}
+		s.h.FlushInto(s.dst)
+	}
+	lv.touched = lv.touched[:0]
+	if lv.overflowHot {
+		if lv.overflowDst == nil {
+			lv.overflowDst = lv.vec.With("other")
+		}
+		lv.overflow.FlushInto(lv.overflowDst)
+		lv.overflowHot = false
+	}
+}

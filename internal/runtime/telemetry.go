@@ -21,7 +21,12 @@ type Telemetry struct {
 	ProgramsRun, Passthrough, Faults *telemetry.Counter
 	RecircThrottled, PrivSuppressed  *telemetry.Counter
 	QuarantineDrops, RevokedDrops    *telemetry.Counter
+	Specialized, PlanCompiles        *telemetry.Counter
 	TableOps                         *telemetry.Counter
+
+	// PacketLatFID is the per-FID packet-latency family, fed from the batch
+	// path's bounded per-sink recorders (see latVec in specialize.go).
+	PacketLatFID *telemetry.HistogramVec
 
 	Admitted, Quarantined, Revoked *telemetry.Gauge
 	SnapshotGen                    *telemetry.Gauge
@@ -50,7 +55,10 @@ func (r *Runtime) AttachTelemetry(reg *telemetry.Registry) *Telemetry {
 		PrivSuppressed:  reg.NewCounter("activermt_runtime_priv_suppressed_total", "privileged instructions suppressed by the privilege table"),
 		QuarantineDrops: reg.NewCounter("activermt_runtime_quarantine_drops_total", "capsules dropped while their FID was deactivated"),
 		RevokedDrops:    reg.NewCounter("activermt_runtime_revoked_drops_total", "capsules dropped because their grant was revoked"),
+		Specialized:     reg.NewCounter("activermt_runtime_specialized_total", "capsules executed through a compiled plan"),
+		PlanCompiles:    reg.NewCounter("activermt_runtime_plan_compiles_total", "program-to-plan compilations performed"),
 		TableOps:        reg.NewCounter("activermt_runtime_table_ops_total", "cumulative control-plane table update operations"),
+		PacketLatFID:    reg.NewHistogramVec("activermt_packet_latency_fid_ns", "modeled packet latency per FID (batch path; bounded cardinality)", "fid"),
 		Admitted:        reg.NewGauge("activermt_runtime_admitted", "currently admitted FIDs"),
 		Quarantined:     reg.NewGauge("activermt_runtime_quarantined", "FIDs currently deactivated for reallocation"),
 		Revoked:         reg.NewGauge("activermt_runtime_revoked", "FIDs whose grant was revoked and not re-admitted"),

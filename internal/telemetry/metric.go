@@ -402,5 +402,58 @@ func (v *GaugeVec) collect(ms *MetricSnapshot) {
 	}
 }
 
+// HistogramVec is a family of histograms distinguished by one label, for
+// per-tenant latency distributions. Children are memoized by label value and
+// collected in insertion order; owners enforce their own cardinality bound
+// (the runtime's per-FID latency recorder folds excess tenants into one
+// "other" child) because the vec itself cannot know which labels matter.
+type HistogramVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	children          map[string]*Histogram
+	order             []string
+}
+
+// NewHistogramVec returns an unregistered histogram family keyed by label.
+func NewHistogramVec(name, help, label string) *HistogramVec {
+	return &HistogramVec{name: name, help: help, label: label, children: make(map[string]*Histogram)}
+}
+
+// Name implements Metric.
+func (v *HistogramVec) Name() string { return v.name }
+
+// Help implements Metric.
+func (v *HistogramVec) Help() string { return v.help }
+
+// Kind implements Metric.
+func (v *HistogramVec) Kind() Kind { return KindHistogram }
+
+// With returns the child histogram for the label value, creating it on first
+// use. Callers on hot paths must cache the returned handle.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[value]
+	if !ok {
+		h = NewHistogram(v.name, v.help)
+		v.children[value] = h
+		v.order = append(v.order, value)
+	}
+	return h
+}
+
+func (v *HistogramVec) collect(ms *MetricSnapshot) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, val := range v.order {
+		h := v.children[val]
+		hs := &HistSample{Count: h.count.Load(), Sum: h.sum.Load()}
+		for i := range h.buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		ms.Samples = append(ms.Samples, Sample{Labels: renderLabel(v.label, val), Hist: hs})
+	}
+}
+
 // renderLabel renders one label pair in exposition form.
 func renderLabel(key, value string) string { return key + `="` + value + `"` }
