@@ -149,6 +149,10 @@ func runPipelineBench(n, packets int, path, telAddr string) error {
 		fmt.Printf("   %-12s %12.0f pps   %.2fx vs single\n",
 			fmt.Sprintf("lanes=%d", lr.Lanes), lr.PPS, lr.Speedup)
 	}
+	if res.Fabric.PPS > 0 {
+		fmt.Printf("   %-12s %12.0f rtts  %.4fx vs single (%d-switch leaf-spine, end to end)\n",
+			"fabric", res.Fabric.PPS, res.Fabric.Speedup, res.Fabric.Lanes)
+	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err

@@ -16,6 +16,16 @@
 //	activesim -scenario cache -chaos flapping-port     # the client port goes down/up
 //	activesim -scenario cache -chaos controller-outage # control-plane crash + restart
 //	activesim -scenario cache -chaos corrupted-memory  # SRAM bit flips + sweep-and-repair
+//
+// A multi-switch leaf-spine fabric replaces the single testbed switch with
+// -topology (or its shorthand -switches):
+//
+//	activesim -scenario cache -topology leafspine:3x2 # 3 leaves, 2 spines
+//	activesim -scenario cache -switches 4             # leafspine:3x1 (4 switches)
+//
+// The fabric run drives the coherent replicated cache across all leaves and
+// prints a per-switch occupancy summary at exit. The default topology
+// ("single") preserves the single-switch behavior exactly.
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"activermt/internal/chaos"
 	"activermt/internal/client"
 	"activermt/internal/experiments"
+	"activermt/internal/fabric"
 	"activermt/internal/netsim"
 	"activermt/internal/packet"
 	"activermt/internal/telemetry"
@@ -46,16 +57,30 @@ func main() {
 	chaosName := flag.String("chaos", "", "fault scenario for -scenario cache: "+strings.Join(chaos.Names(), " | "))
 	adversary := flag.Bool("adversary", false, "co-schedule an adversarial tenant attacking the cache")
 	telAddr := flag.String("telemetry", "", "serve Prometheus/JSON telemetry on this address during -scenario cache (e.g. 127.0.0.1:9464)")
+	topology := flag.String("topology", "single", `"single" or "leafspine:<leaves>x<spines>" (-scenario cache only)`)
+	switches := flag.Int("switches", 0, "shorthand for -topology leafspine:(N-1)x1; 0 or 1 keeps the single switch")
 	flag.Parse()
 
 	if (*chaosName != "" || *adversary || *telAddr != "") && *scenario != "cache" {
 		fmt.Fprintln(os.Stderr, "activesim: -chaos, -adversary, and -telemetry only apply to -scenario cache")
 		os.Exit(2)
 	}
-	var err error
+	leaves, spines, err := parseTopology(*topology, *switches)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "activesim:", err)
+		os.Exit(2)
+	}
+	if leaves > 0 && (*scenario != "cache" || *chaosName != "" || *adversary || *telAddr != "") {
+		fmt.Fprintln(os.Stderr, "activesim: a leaf-spine topology only applies to plain -scenario cache")
+		os.Exit(2)
+	}
 	switch *scenario {
 	case "cache":
-		err = runCache(*seed, *chaosName, *adversary, *telAddr)
+		if leaves > 0 {
+			err = runFabricCache(*seed, leaves, spines)
+		} else {
+			err = runCache(*seed, *chaosName, *adversary, *telAddr)
+		}
 	case "multi":
 		err = runFromExperiment("fig9b", *seed)
 	case "churn":
@@ -85,6 +110,130 @@ func runFromExperiment(id string, seed int64) error {
 	for _, n := range res.Notes {
 		fmt.Printf("  note: %s\n", n)
 	}
+	return nil
+}
+
+// parseTopology resolves -topology/-switches to a leaf/spine count.
+// (0, 0) means the single-switch testbed.
+func parseTopology(topology string, switches int) (leaves, spines int, err error) {
+	if switches < 0 {
+		return 0, 0, fmt.Errorf("-switches %d: must be >= 0", switches)
+	}
+	if switches > 1 {
+		if topology != "single" {
+			return 0, 0, fmt.Errorf("-switches and -topology are mutually exclusive")
+		}
+		return switches - 1, 1, nil
+	}
+	if topology == "single" || topology == "" {
+		return 0, 0, nil
+	}
+	spec, ok := strings.CutPrefix(topology, "leafspine:")
+	if !ok {
+		return 0, 0, fmt.Errorf("-topology %q: want \"single\" or \"leafspine:<leaves>x<spines>\"", topology)
+	}
+	l, s, ok := strings.Cut(spec, "x")
+	if ok {
+		leaves, err = strconv.Atoi(l)
+		if err == nil {
+			spines, err = strconv.Atoi(s)
+		}
+	}
+	if !ok || err != nil || leaves < 1 || spines < 1 {
+		return 0, 0, fmt.Errorf("-topology %q: want leafspine:<leaves>x<spines> with positive counts", topology)
+	}
+	return leaves, spines, nil
+}
+
+// runFabricCache drives the coherent replicated cache across a leaf-spine
+// fabric: one replica per reader leaf plus the home spine, a KV server on
+// the last leaf, Zipf GETs issued round-robin from every reader leaf, and a
+// write burst mid-run to exercise the invalidation protocol. Exits with a
+// per-switch occupancy summary.
+func runFabricCache(seed int64, leaves, spines int) error {
+	f, err := fabric.New(fabric.DefaultConfig(leaves, spines))
+	if err != nil {
+		return err
+	}
+	fc := fabric.NewController(f)
+	now := func() float64 { return f.Eng.Now().Seconds() }
+	fmt.Printf("[%8.3fs] leaf-spine fabric up: %d leaves x %d spines (%d switches)\n",
+		now(), leaves, spines, len(f.Nodes()))
+
+	srvLeaf := leaves - 1
+	srvMAC, srvIP := f.NewHostID()
+	srv := apps.NewKVServer(f.Eng, srvMAC, srvIP)
+	sp, err := f.AttachHost(srvLeaf, srv, srvMAC)
+	if err != nil {
+		return err
+	}
+	srv.Attach(sp)
+
+	// Readers on every leaf; with a single leaf it doubles as the server's.
+	readers := make([]int, leaves)
+	for i := range readers {
+		readers[i] = i
+	}
+	cc, err := fabric.NewCoherentCache(fc, 1, readers, srvMAC, srvIP)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[%8.3fs] coherent cache admitted on %d switches (home %s, epoch %d, %d buckets/replica)\n",
+		now(), len(cc.Set().Members), cc.Home().Name, cc.Set().Epoch, cc.Capacity())
+
+	const nkeys = 2048
+	z := workload.NewZipf(seed, 1.25, nkeys)
+	keys := make([][2]uint32, nkeys)
+	var hot []apps.KVMsg
+	for i := range keys {
+		k0, k1, v := uint32(i)*2654435761, uint32(i)*2246822519+7, uint32(0xC0DE+i)
+		keys[i] = [2]uint32{k0, k1}
+		srv.Store[apps.KeyOf(k0, k1)] = v
+		if i < nkeys/2 {
+			hot = append(hot, apps.KVMsg{Key0: k0, Key1: k1, Value: v})
+		}
+	}
+	if err := cc.Warm(0, hot); err != nil {
+		return err
+	}
+	f.RunFor(100 * time.Millisecond)
+	fmt.Printf("[%8.3fs] warmed %d objects from leaf 0\n", now(), len(hot))
+
+	for window := 0; window < 3; window++ {
+		h0, m0 := cc.Hits, cc.Misses
+		for i := 0; i < 3000; i++ {
+			k := keys[z.Next()]
+			if _, err := cc.Get(readers[i%len(readers)], k[0], k[1]); err != nil {
+				return err
+			}
+			f.RunFor(50 * time.Microsecond)
+		}
+		f.RunFor(5 * time.Millisecond)
+		h, m := cc.Hits-h0, cc.Misses-m0
+		fmt.Printf("[%8.3fs] window %d: hit rate %.3f (%d hits, %d misses, server saw %d)\n",
+			now(), window, float64(h)/float64(h+m), h, m, srv.Requests)
+		if window == 0 {
+			// Overwrite a slice of the hot set from the last leaf: the
+			// invalidation capsules evict the other leaves' copies.
+			wleaf := readers[len(readers)-1]
+			for i := 0; i < 64; i++ {
+				if _, err := cc.Put(wleaf, keys[i][0], keys[i][1], uint32(0xBEEF+i)); err != nil {
+					return err
+				}
+				f.RunFor(100 * time.Microsecond)
+			}
+			f.RunFor(5 * time.Millisecond)
+			fmt.Printf("[%8.3fs] wrote 64 keys from leaf %d: %d invalidations sent, %d delivered, %d acks\n",
+				now(), wleaf, cc.InvalSent, cc.InvalDelivered, cc.WriteAcks)
+		}
+	}
+
+	fmt.Printf("[%8.3fs] per-switch occupancy at exit:\n", now())
+	for _, n := range f.Nodes() {
+		fmt.Printf("    %-8s %4d blocks (util %.3f)\n",
+			n.Name, n.OccupiedBlocks(), n.Ctrl.Allocator().Utilization())
+	}
+	fmt.Printf("    spills=%d replica-mismatches=%d\n", fc.Spills, fc.ReplicaMismatch)
 	return nil
 }
 

@@ -14,6 +14,7 @@
 //	baseline gates (vs the committed BENCH_pipeline.json, -tolerance noise):
 //	  specialized and batch speedups not below baseline by > tolerance
 //	  telemetry overhead not above baseline by > tolerance (percentage pts)
+//	  fabric end-to-end ratio vs single not below baseline by > tolerance
 //
 // -absolute additionally compares raw pps per series against the baseline —
 // only meaningful when the baseline was produced on this same machine.
@@ -81,6 +82,10 @@ func runRebase(path string, trials, packets int) error {
 	for _, lr := range res.Lanes {
 		fmt.Printf("  lanes=%-6d %12.0f pps  %.2fx\n", lr.Lanes, lr.PPS, lr.Speedup)
 	}
+	if res.Fabric.PPS > 0 {
+		fmt.Printf("  fabric      %12.0f rtts %.4fx (%d switches)\n",
+			res.Fabric.PPS, res.Fabric.Speedup, res.Fabric.Lanes)
+	}
 	return nil
 }
 
@@ -126,6 +131,7 @@ func run(baselinePath string, trials, packets int, tolerance float64, absolute b
 	row("specialized", base.Specialized, cur.Specialized)
 	row("batch", base.Batch, cur.Batch)
 	row("single+tel", base.SingleTelemetry, cur.SingleTelemetry)
+	row("fabric", base.Fabric, cur.Fabric)
 	fmt.Printf("  %-14s baseline %.2fx / %.2fx   current %.2fx / %.2fx\n",
 		"speedups", base.Specialized.Speedup, base.Batch.Speedup,
 		cur.Specialized.Speedup, cur.Batch.Speedup)
@@ -161,6 +167,13 @@ func run(baselinePath string, trials, packets int, tolerance float64, absolute b
 	if base.Batch.Speedup > 0 && cur.Batch.Speedup < base.Batch.Speedup*slack {
 		fail("batch speedup %.2fx regressed >%.0f%% from baseline %.2fx",
 			cur.Batch.Speedup, tolerance, base.Batch.Speedup)
+	}
+	// The fabric series gates on its ratio to the interpreter baseline: a
+	// relay-path or multi-hop regression shows up here even when raw pps
+	// moves with the host. Absent from pre-fabric baselines (Speedup 0).
+	if base.Fabric.Speedup > 0 && cur.Fabric.Speedup < base.Fabric.Speedup*slack {
+		fail("fabric ratio %.4fx regressed >%.0f%% from baseline %.4fx",
+			cur.Fabric.Speedup, tolerance, base.Fabric.Speedup)
 	}
 	// A noisy baseline can measure telemetry as faster than bare (delta < 0);
 	// clamp at 0 so such a baseline never gates harder than the hard gate.
@@ -204,7 +217,7 @@ func run(baselinePath string, trials, packets int, tolerance float64, absolute b
 // instead inflate whenever the denominator's max failed to converge.
 func bestOf(trials, packets int, lanes []int) (*experiments.PipelineBench, error) {
 	var merged *experiments.PipelineBench
-	var specUps, batchUps, telUps, telDeltas []float64
+	var specUps, batchUps, telUps, telDeltas, fabricUps []float64
 	laneUps := map[int][]float64{}
 	for i := 0; i < trials; i++ {
 		res, err := experiments.RunPipelineBench(experiments.PipelineBenchConfig{
@@ -218,6 +231,7 @@ func bestOf(trials, packets int, lanes []int) (*experiments.PipelineBench, error
 		batchUps = append(batchUps, res.Batch.Speedup)
 		telUps = append(telUps, res.SingleTelemetry.Speedup)
 		telDeltas = append(telDeltas, res.TelemetryDelta)
+		fabricUps = append(fabricUps, res.Fabric.Speedup)
 		for j, lr := range res.Lanes {
 			laneUps[j] = append(laneUps[j], lr.Speedup)
 		}
@@ -234,6 +248,7 @@ func bestOf(trials, packets int, lanes []int) (*experiments.PipelineBench, error
 		keep(&merged.Specialized, &res.Specialized)
 		keep(&merged.Batch, &res.Batch)
 		keep(&merged.SingleTelemetry, &res.SingleTelemetry)
+		keep(&merged.Fabric, &res.Fabric)
 		for j := range merged.Lanes {
 			if j < len(res.Lanes) {
 				keep(&merged.Lanes[j], &res.Lanes[j])
@@ -244,6 +259,7 @@ func bestOf(trials, packets int, lanes []int) (*experiments.PipelineBench, error
 	merged.Batch.Speedup = median(batchUps)
 	merged.SingleTelemetry.Speedup = median(telUps)
 	merged.TelemetryDelta = median(telDeltas)
+	merged.Fabric.Speedup = median(fabricUps)
 	for j := range merged.Lanes {
 		merged.Lanes[j].Speedup = median(laneUps[j])
 	}

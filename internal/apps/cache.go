@@ -55,6 +55,27 @@ MEM_WRITE           // store value at a+2
 RETURN
 `)
 
+// cachePopulateFwdProg is the populate program with the RTS acknowledgment
+// replaced by a NOP, preserving the shared memory-access skeleton (accesses
+// at 1, 4, 8). Without the RTS the capsule is forwarded toward its
+// destination after executing, so in a multi-switch fabric one write
+// capsule applies the object at EVERY on-path replica and terminates at the
+// addressed host — the write-update / invalidation primitive of the
+// fabric's cross-switch coherence protocol (internal/fabric).
+var cachePopulateFwdProg = isa.MustAssemble("cache-populate-fwd", `
+.arg ADDR 2
+MAR_LOAD $ADDR      // locate bucket
+MEM_WRITE           // key half 0 (MBR preloaded)
+MBR_LOAD 1          // key half 1
+NOP
+MEM_WRITE           // store it at a+1
+MBR_LOAD 3          // the value
+NOP
+NOP                 // no RTS: keep forwarding to the next on-path device
+MEM_WRITE           // store value at a+2
+RETURN
+`)
+
 // cacheReadbackProg reads a raw bucket back to the client (the Appendix C
 // memory-READ pattern applied to the cache layout), used for state
 // extraction during reallocation.
@@ -96,6 +117,13 @@ type Cache struct {
 	// switch served it.
 	OnResponse func(seq uint32, value uint32, hit bool)
 
+	// PopulateVia, when set, addresses population capsules to that MAC
+	// instead of back to the client itself. A single-switch cache
+	// self-addresses (the RTS ack hairpins at its switch); a cache whose
+	// region lives on a remote fabric device must aim the capsule THROUGH
+	// the fabric so it reaches the device that executes it.
+	PopulateVia packet.MAC
+
 	repopulateOnResume bool
 }
 
@@ -128,6 +156,29 @@ func CacheService(c *Cache) *client.Service {
 			done()
 		},
 		OnFailed: func(cl *client.Client) {},
+	}
+}
+
+// CoherentCacheService builds the service definition for one member of the
+// fabric's replicated coherent cache (internal/fabric): the single-switch
+// templates plus the forwarding populate used for cross-switch write-update
+// and invalidation capsules. All templates share the access skeleton, so
+// every replica synthesizes against the same mutant.
+func CoherentCacheService() *client.Service {
+	g := 1
+	return &client.Service{
+		Name: "coherent-cache",
+		Main: "main",
+		Templates: map[string]*isa.Program{
+			"main":         cacheQueryProg,
+			"populate":     cachePopulateProg,
+			"populate-fwd": cachePopulateFwdProg,
+			"readback":     cacheReadbackProg,
+		},
+		Specs: []compiler.AccessSpec{
+			{AlignGroup: g}, {AlignGroup: g}, {AlignGroup: g},
+		},
+		Elastic: true,
 	}
 }
 
@@ -194,6 +245,10 @@ func (c *Cache) Populate() {
 	if cap := c.Capacity(); n > cap {
 		n = cap
 	}
+	dst := c.Client.MAC() // self-addressed: the RTS ack returns here
+	if c.PopulateVia != (packet.MAC{}) {
+		dst = c.PopulateVia
+	}
 	for i := n - 1; i >= 0; i-- { // least frequent first, hottest last
 		o := c.hot[i]
 		addr, ok := c.bucket(o.Key0, o.Key1)
@@ -202,7 +257,7 @@ func (c *Cache) Populate() {
 		}
 		_ = c.Client.SendProgram("populate",
 			[4]uint32{o.Key0, o.Key1, addr, o.Value},
-			packet.FlagPreload, nil, c.Client.MAC()) // self-addressed: the RTS ack returns here
+			packet.FlagPreload, nil, dst)
 	}
 }
 

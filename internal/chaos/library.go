@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"activermt/internal/netsim"
+	"activermt/internal/switchd"
 )
 
 // The scenario library: named, parameterized fault schedules covering the
@@ -85,6 +86,21 @@ func ControllerOutage(crashAt, downFor time.Duration, seed int64) *Scenario {
 	inj := ControllerCrash{}
 	s.Apply(crashAt, inj)
 	s.Revert(crashAt+downFor, inj)
+	return s
+}
+
+// SwitchOutage crashes one specific device's controller at crashAt and
+// restarts it downFor later. Unlike ControllerOutage it captures its target
+// explicitly, so a multi-switch fabric (internal/fabric) can aim the
+// failure at any of its nodes; recovery rides the same Crash/Restart path
+// (allocation books rebuilt from the surviving switch tables via
+// alloc.Recover, clients re-admitted idempotently at their old placement
+// and epoch) on that one device while the rest of the fabric keeps
+// forwarding.
+func SwitchOutage(name string, ctrl *switchd.Controller, crashAt, downFor time.Duration, seed int64) *Scenario {
+	s := NewScenario("switch-outage:"+name, seed)
+	s.At(crashAt, "crash:"+name, func(*System) { ctrl.Crash() })
+	s.At(crashAt+downFor, "restart:"+name, func(*System) { ctrl.Restart() })
 	return s
 }
 

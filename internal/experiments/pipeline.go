@@ -28,6 +28,12 @@ type PipelineBenchConfig struct {
 	Lanes   []int // lane counts to measure (default 1,2,4)
 	Ring    int   // pre-built capsules per tenant (default 64)
 
+	// FabricPackets sizes the leaf-spine end-to-end series (default
+	// Packets/50: each fabric GET is a full multi-hop simulation, orders of
+	// magnitude heavier than one execute-loop capsule). Negative skips the
+	// series.
+	FabricPackets int
+
 	// Registry, when non-nil, is attached for the telemetry-enabled run
 	// instead of a private one — activebench passes the registry it serves
 	// over HTTP so a live scrape observes the measured run.
@@ -64,6 +70,14 @@ type PipelineBench struct {
 	SingleTelemetry LaneRate   `json:"single_telemetry"`
 	TelemetryDelta  float64    `json:"telemetry_delta_pct"`
 	Lanes           []LaneRate `json:"lanes"`
+
+	// Fabric is the leaf-spine end-to-end series (RunFabricBench): GET
+	// round trips per wall second through a 2x1 fabric. Its Speedup field
+	// is the ratio to Single — well below 1 by construction (a round trip
+	// simulates every hop), but stable on a given build, so the gate can
+	// catch relay-path regressions ratio-wise. Zero when the series was
+	// skipped (pre-fabric baselines).
+	Fabric LaneRate `json:"fabric,omitempty"`
 }
 
 // pipelineCacheProg is the paper's cache query (Listing 1): three memory
@@ -262,6 +276,17 @@ func RunPipelineBench(cfg PipelineBenchConfig) (*PipelineBench, error) {
 			PPS:     float64(cfg.Packets) / el.Seconds(),
 			Speedup: (float64(cfg.Packets) / el.Seconds()) / res.Single.PPS,
 		})
+	}
+
+	if cfg.FabricPackets >= 0 {
+		n := cfg.FabricPackets
+		if n == 0 {
+			n = cfg.Packets / 50
+		}
+		if res.Fabric, err = RunFabricBench(n); err != nil {
+			return nil, err
+		}
+		res.Fabric.Speedup = res.Fabric.PPS / res.Single.PPS
 	}
 	return res, nil
 }

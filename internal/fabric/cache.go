@@ -1,0 +1,451 @@
+// Cross-switch cache coherence on the leaf-spine fabric.
+//
+// The coherent cache replicates one FID's cache region on every reader
+// leaf plus the HOME spine — the spine that carries all traffic toward the
+// backing KV server (SpineFor(server)). Because queries are addressed to
+// the server, every read path is leaf -> home -> server-leaf: a read
+// first consults the reader's leaf replica, then the home replica, and
+// only then reaches the server. Writes keep the copies coherent with two
+// capsule kinds built from the same populate program (RTS replaced by NOP,
+// apps.CoherentCacheService):
+//
+//   - update: a populate-fwd capsule carrying the KVPut payload, addressed
+//     to the server. It installs the new value at the writer's leaf (and
+//     anything en route); the server applies the authoritative update and
+//     acks with a KVResp. A companion capsule addressed to the home
+//     SWITCH itself installs the value at the home replica and terminates
+//     there — necessary because a writer on the server's own leaf never
+//     crosses the home spine on the server path.
+//   - invalidation: a populate-fwd capsule writing the sentinel key,
+//     addressed to the stale leaf's frontend. It evicts that leaf's copy;
+//     the next read there misses through the (already updated) home or
+//     server and re-fills.
+//
+// Invalidations are sent before the update: both capsule kinds execute at
+// the writer's leaf, and per-link FIFO ordering guarantees the sentinel the
+// invalidation writes there (and at the home, when it crosses it) is
+// overwritten by the update's new value.
+package fabric
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+
+	"activermt/internal/apps"
+	"activermt/internal/client"
+	"activermt/internal/packet"
+)
+
+// Sentinel key halves an invalidation writes into a bucket: no real object
+// may use this key.
+const (
+	InvalKey0 = ^uint32(0)
+	InvalKey1 = ^uint32(0)
+)
+
+// front is a coherent cache's per-leaf frontend: the replica client that
+// issues queries and receives replies on that leaf.
+type front struct {
+	leaf int
+	cl   *client.Client
+	ip   netip.Addr
+}
+
+// pendingOp tracks one outstanding request by sequence number.
+type pendingOp struct {
+	leaf   int
+	op     uint8
+	k0, k1 uint32
+}
+
+// CoherentCache is the replicated, write-coherent tier of the fabric cache
+// exemplar.
+type CoherentCache struct {
+	fc     *Controller
+	set    *ReplicaSet
+	srvMAC packet.MAC
+	srvIP  netip.Addr
+
+	fronts  map[int]*front
+	dir     map[uint64]map[int]bool // key -> leaves holding a copy
+	seq     uint32
+	pending map[uint32]pendingOp
+
+	// Stats.
+	Hits, Misses, Fills, WriteAcks uint64
+	PopAcks                        uint64
+	InvalSent, InvalDelivered      uint64
+
+	// OnResponse fires for every completed GET.
+	OnResponse func(leaf int, seq, value uint32, hit bool)
+}
+
+// NewCoherentCache places the replica set (reader leaves + home spine for
+// the server) and wires a frontend on every reader leaf.
+func NewCoherentCache(fc *Controller, fid uint16, leaves []int, srvMAC packet.MAC, srvIP netip.Addr) (*CoherentCache, error) {
+	set, err := fc.PlaceReplicas(fid, leaves, srvMAC, apps.CoherentCacheService)
+	if err != nil {
+		return nil, err
+	}
+	c := &CoherentCache{
+		fc:      fc,
+		set:     set,
+		srvMAC:  srvMAC,
+		srvIP:   srvIP,
+		fronts:  make(map[int]*front),
+		dir:     make(map[uint64]map[int]bool),
+		pending: make(map[uint32]pendingOp),
+	}
+	for _, m := range set.Members {
+		if !m.Node.Leaf {
+			continue // the home spine's client only holds the admission
+		}
+		fr := &front{leaf: m.Leaf, cl: m.Client, ip: netip.AddrFrom4([4]byte{10, 2, 0, byte(m.Leaf)})}
+		m.Client.Handler = c.handlerFor(fr)
+		c.fronts[m.Leaf] = fr
+	}
+	return c, nil
+}
+
+// Set returns the underlying replica set.
+func (c *CoherentCache) Set() *ReplicaSet { return c.set }
+
+// Home returns the home spine node for the cache's server.
+func (c *CoherentCache) Home() *Node { return c.fc.F.SpineFor(c.srvMAC) }
+
+// Capacity returns the bucket count of the shared replica region.
+func (c *CoherentCache) Capacity() int {
+	pl := c.set.Placement
+	if pl == nil || len(pl.Accesses) == 0 {
+		return 0
+	}
+	w := int(pl.Accesses[0].Range.Hi - pl.Accesses[0].Range.Lo)
+	if w < 3 {
+		return 0
+	}
+	return w - 2
+}
+
+// bucket hashes a key into the shared region — valid on every replica
+// because the placements are identical.
+func (c *CoherentCache) bucket(k0, k1 uint32) (uint32, bool) {
+	cap := c.Capacity()
+	if cap <= 0 {
+		return 0, false
+	}
+	h := fnv.New32a()
+	var b [8]byte
+	for i := 0; i < 4; i++ {
+		b[i] = byte(k0 >> (24 - 8*i))
+		b[4+i] = byte(k1 >> (24 - 8*i))
+	}
+	h.Write(b[:])
+	return c.set.Placement.Accesses[0].Range.Lo + h.Sum32()%uint32(cap), true
+}
+
+// Get issues a GET from the given leaf's frontend: the query executes at
+// the leaf replica, then (on miss) the home replica, then reaches the
+// server. Returns the sequence number.
+func (c *CoherentCache) Get(leaf int, k0, k1 uint32) (uint32, error) {
+	fr, ok := c.fronts[leaf]
+	if !ok {
+		return 0, fmt.Errorf("fabric: no cache frontend on leaf %d", leaf)
+	}
+	c.seq++
+	msg := apps.KVMsg{Op: apps.KVGet, Key0: k0, Key1: k1, Seq: c.seq}
+	payload := apps.BuildUDP(fr.ip, c.srvIP, 40000, apps.KVPort, msg.Encode())
+	addr, ok := c.bucket(k0, k1)
+	if !ok {
+		return 0, fmt.Errorf("fabric: cache has no capacity")
+	}
+	c.pending[c.seq] = pendingOp{leaf: leaf, op: apps.KVGet, k0: k0, k1: k1}
+	return c.seq, fr.cl.SendProgram("main", [4]uint32{k0, k1, addr, 0}, 0, payload, c.srvMAC)
+}
+
+// Put writes a key from the given leaf: invalidations evict every OTHER
+// leaf's copy, then the update capsule installs the new value at the
+// writer's leaf and the home spine and commits it at the server. The
+// directory then records the writer as the only leaf copy.
+func (c *CoherentCache) Put(leaf int, k0, k1, value uint32) (uint32, error) {
+	fr, ok := c.fronts[leaf]
+	if !ok {
+		return 0, fmt.Errorf("fabric: no cache frontend on leaf %d", leaf)
+	}
+	addr, ok := c.bucket(k0, k1)
+	if !ok {
+		return 0, fmt.Errorf("fabric: cache has no capacity")
+	}
+	key := apps.KeyOf(k0, k1)
+	for l := range c.dir[key] {
+		other, ok := c.fronts[l]
+		if !ok || l == leaf {
+			continue
+		}
+		// Sentinel write addressed to the stale leaf's frontend: executes at
+		// the writer's leaf (rewritten by the update just behind it), any
+		// transit spine replica, and the stale leaf itself.
+		if err := fr.cl.SendProgram("populate-fwd",
+			[4]uint32{InvalKey0, InvalKey1, addr, 0},
+			packet.FlagPreload, nil, other.cl.MAC()); err != nil {
+			return 0, err
+		}
+		c.InvalSent++
+	}
+	if err := c.updateHome(fr, k0, k1, addr, value); err != nil {
+		return 0, err
+	}
+	c.seq++
+	msg := apps.KVMsg{Op: apps.KVPut, Key0: k0, Key1: k1, Value: value, Seq: c.seq}
+	payload := apps.BuildUDP(fr.ip, c.srvIP, 40000, apps.KVPort, msg.Encode())
+	c.pending[c.seq] = pendingOp{leaf: leaf, op: apps.KVPut, k0: k0, k1: k1}
+	if err := fr.cl.SendProgram("populate-fwd",
+		[4]uint32{k0, k1, addr, value},
+		packet.FlagPreload, payload, c.srvMAC); err != nil {
+		return 0, err
+	}
+	c.dir[key] = map[int]bool{leaf: true}
+	return c.seq, nil
+}
+
+// updateHome installs a value at the home spine replica with a capsule
+// addressed to the home switch itself: it executes at the sender's leaf and
+// at the home, then terminates (the switch MAC resolves to no egress port).
+// This keeps the home current even when the sender sits on the server's own
+// leaf and the server-path capsule never crosses a spine.
+func (c *CoherentCache) updateHome(fr *front, k0, k1, addr, value uint32) error {
+	return fr.cl.SendProgram("populate-fwd",
+		[4]uint32{k0, k1, addr, value},
+		packet.FlagPreload, nil, c.Home().MAC)
+}
+
+// Warm pre-populates objects from one leaf (each install writes the leaf
+// replica and the home spine en route to the server's leaf).
+func (c *CoherentCache) Warm(leaf int, objs []apps.KVMsg) error {
+	fr, ok := c.fronts[leaf]
+	if !ok {
+		return fmt.Errorf("fabric: no cache frontend on leaf %d", leaf)
+	}
+	for _, o := range objs {
+		addr, ok := c.bucket(o.Key0, o.Key1)
+		if !ok {
+			return fmt.Errorf("fabric: cache has no capacity")
+		}
+		if err := fr.cl.SendProgram("populate-fwd",
+			[4]uint32{o.Key0, o.Key1, addr, o.Value},
+			packet.FlagPreload, nil, c.srvMAC); err != nil {
+			return err
+		}
+		if err := c.updateHome(fr, o.Key0, o.Key1, addr, o.Value); err != nil {
+			return err
+		}
+		c.recordCopy(apps.KeyOf(o.Key0, o.Key1), leaf)
+	}
+	return nil
+}
+
+// recordCopy marks a leaf as holding a key.
+func (c *CoherentCache) recordCopy(key uint64, leaf int) {
+	m := c.dir[key]
+	if m == nil {
+		m = make(map[int]bool)
+		c.dir[key] = m
+	}
+	m[leaf] = true
+}
+
+// handlerFor builds the per-frontend reply dispatcher.
+func (c *CoherentCache) handlerFor(fr *front) func(*client.Client, *packet.Frame) {
+	return func(cl *client.Client, f *packet.Frame) {
+		if f.Active != nil {
+			h := f.Active.Header
+			if h.Flags&packet.FlagRTS == 0 {
+				// A populate-fwd capsule that terminated here: an
+				// invalidation (or update echo) that traversed its path.
+				c.InvalDelivered++
+				return
+			}
+			if h.Flags&packet.FlagPreload != 0 {
+				c.PopAcks++
+				return
+			}
+			// Query hit: served by this leaf's replica or the home spine.
+			c.Hits++
+			c.recordCopy(keyFromPayload(f), fr.leaf)
+			seq := seqFromPayload(f)
+			delete(c.pending, seq)
+			if c.OnResponse != nil {
+				c.OnResponse(fr.leaf, seq, f.Active.Args[0], true)
+			}
+			return
+		}
+		_, _, body, ok := apps.ParseUDP(f.Inner)
+		if !ok {
+			return
+		}
+		msg, ok := apps.DecodeKVMsg(body)
+		if !ok || msg.Op != apps.KVResp {
+			return
+		}
+		p, ok := c.pending[msg.Seq]
+		if !ok {
+			return
+		}
+		delete(c.pending, msg.Seq)
+		switch p.op {
+		case apps.KVGet:
+			c.Misses++
+			c.fill(fr, p.k0, p.k1, msg.Value)
+			if c.OnResponse != nil {
+				c.OnResponse(fr.leaf, msg.Seq, msg.Value, false)
+			}
+		case apps.KVPut:
+			c.WriteAcks++
+		}
+	}
+}
+
+// fill installs a miss-fetched value at the reading leaf (and the home
+// spine en route): the read-triggered re-fill of the coherence protocol.
+func (c *CoherentCache) fill(fr *front, k0, k1, value uint32) {
+	addr, ok := c.bucket(k0, k1)
+	if !ok {
+		return
+	}
+	if err := fr.cl.SendProgram("populate-fwd",
+		[4]uint32{k0, k1, addr, value},
+		packet.FlagPreload, nil, c.srvMAC); err != nil {
+		return
+	}
+	_ = c.updateHome(fr, k0, k1, addr, value)
+	c.Fills++
+	c.recordCopy(apps.KeyOf(k0, k1), fr.leaf)
+}
+
+// HitRate returns hits / (hits + misses).
+func (c *CoherentCache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// keyFromPayload extracts the KV key of a query reply.
+func keyFromPayload(f *packet.Frame) uint64 {
+	if _, _, body, ok := apps.ParseUDP(f.Inner); ok {
+		if msg, ok := apps.DecodeKVMsg(body); ok {
+			return apps.KeyOf(msg.Key0, msg.Key1)
+		}
+	}
+	return 0
+}
+
+// seqFromPayload extracts the sequence number of a query reply.
+func seqFromPayload(f *packet.Frame) uint32 {
+	if _, _, body, ok := apps.ParseUDP(f.Inner); ok {
+		if msg, ok := apps.DecodeKVMsg(body); ok {
+			return msg.Seq
+		}
+	}
+	return 0
+}
+
+// ShardedCache is the spill tier of the fabric cache exemplar: a tenant
+// whose demand exceeds one pipeline holds key-partitioned shards on the
+// devices of its traffic path, each shard a standard single-switch cache
+// (apps.Cache) whose FID is admitted on exactly one device. Queries transit
+// non-owning devices unexecuted and hit (or miss through) the owning one.
+type ShardedCache struct {
+	Tenant *Tenant
+	Caches []*apps.Cache // aligned with Tenant.Shards
+}
+
+// NewShardedCache places demand blocks (per access) for baseFID across the
+// leaf->server path and binds one cache frontend per shard.
+func NewShardedCache(fc *Controller, baseFID uint16, leaf int, srvMAC packet.MAC, srvIP netip.Addr, demand int) (*ShardedCache, error) {
+	byService := make(map[*client.Service]*apps.Cache)
+	idx := 0
+	mk := func() *client.Service {
+		selfIP := netip.AddrFrom4([4]byte{10, 3, 0, byte(idx)})
+		idx++
+		cache := apps.NewCache(srvMAC, selfIP, srvIP)
+		// Population capsules must traverse the fabric to the shard's
+		// device; self-addressed ones would hairpin at the ingress leaf.
+		cache.PopulateVia = srvMAC
+		svc := apps.CacheService(cache)
+		byService[svc] = cache
+		return svc
+	}
+	t, err := fc.PlaceTenant(baseFID, leaf, srvMAC, demand, mk)
+	if err != nil {
+		return nil, err
+	}
+	sc := &ShardedCache{Tenant: t}
+	for _, sh := range t.Shards {
+		cache := byService[sh.Client.Service()]
+		if cache == nil {
+			return nil, fmt.Errorf("fabric: shard fid %d has no cache frontend", sh.FID)
+		}
+		cache.Bind(sh.Client)
+		sc.Caches = append(sc.Caches, cache)
+	}
+	return sc, nil
+}
+
+// shardFor picks the shard owning a key.
+func (sc *ShardedCache) shardFor(k0, k1 uint32) int {
+	h := fnv.New32a()
+	var b [8]byte
+	for i := 0; i < 4; i++ {
+		b[i] = byte(k0 >> (24 - 8*i))
+		b[4+i] = byte(k1 >> (24 - 8*i))
+	}
+	h.Write(b[:])
+	return int(h.Sum32() % uint32(len(sc.Caches)))
+}
+
+// Get routes a GET to the owning shard.
+func (sc *ShardedCache) Get(k0, k1 uint32) uint32 {
+	return sc.Caches[sc.shardFor(k0, k1)].Get(k0, k1)
+}
+
+// SetHotObjects partitions the hot set across shards and populates each.
+func (sc *ShardedCache) SetHotObjects(objs []apps.KVMsg) {
+	parts := make([][]apps.KVMsg, len(sc.Caches))
+	for _, o := range objs {
+		i := sc.shardFor(o.Key0, o.Key1)
+		parts[i] = append(parts[i], o)
+	}
+	for i, cache := range sc.Caches {
+		cache.SetHotObjects(parts[i])
+		cache.Populate()
+	}
+}
+
+// Hits sums shard hits.
+func (sc *ShardedCache) Hits() uint64 {
+	var t uint64
+	for _, c := range sc.Caches {
+		t += c.Hits
+	}
+	return t
+}
+
+// Misses sums shard misses.
+func (sc *ShardedCache) Misses() uint64 {
+	var t uint64
+	for _, c := range sc.Caches {
+		t += c.Misses
+	}
+	return t
+}
+
+// HitRate aggregates across shards.
+func (sc *ShardedCache) HitRate() float64 {
+	h, m := sc.Hits(), sc.Misses()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

@@ -1,0 +1,142 @@
+package fabric_test
+
+import (
+	"testing"
+	"time"
+
+	"activermt/internal/apps"
+	"activermt/internal/fabric"
+)
+
+// TestCoherenceNoStaleHit drives the write-invalidate protocol end to end
+// on a 4-switch fabric: after a write from one leaf, a read from a leaf
+// that previously held the object must never return the old value — the
+// invalidation evicts its copy, and the miss re-reads through the
+// already-updated home spine or server.
+func TestCoherenceNoStaleHit(t *testing.T) {
+	f, err := fabric.New(fabric.DefaultConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := fabric.NewController(f)
+	srv, srvIP := addServer(t, f, 1)
+
+	const k0, k1 = 0xAB, 0xCD
+	const v1, v2 = 111, 222
+	srv.Store[apps.KeyOf(k0, k1)] = v1
+
+	cc, err := fabric.NewCoherentCache(fc, 9, []int{0, 1}, srv.MAC(), srvIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type resp struct {
+		value uint32
+		hit   bool
+	}
+	got := make(map[uint32]resp)
+	cc.OnResponse = func(leaf int, seq, value uint32, hit bool) { got[seq] = resp{value, hit} }
+
+	// Warm from leaf 0: the populate-fwd capsule installs v1 at leaf0, the
+	// home spine, and leaf1 (the server's leaf hosts a replica) en route.
+	if err := cc.Warm(0, []apps.KVMsg{{Key0: k0, Key1: k1, Value: v1}}); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(50 * time.Millisecond)
+
+	get := func(leaf int) resp {
+		t.Helper()
+		seq, err := cc.Get(leaf, k0, k1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runUntil(t, f, time.Second, "GET answered", func() bool {
+			_, ok := got[seq]
+			return ok
+		})
+		return got[seq]
+	}
+
+	// Both leaves see v1; leaf 1's read registers it in the directory.
+	if r := get(0); !r.hit || r.value != v1 {
+		t.Fatalf("pre-write read on leaf0 = (%d, hit=%v), want (%d, hit)", r.value, r.hit, v1)
+	}
+	if r := get(1); !r.hit || r.value != v1 {
+		t.Fatalf("pre-write read on leaf1 = (%d, hit=%v), want (%d, hit)", r.value, r.hit, v1)
+	}
+
+	// Write v2 from leaf 0: invalidations first, then the update capsule.
+	if _, err := cc.Put(0, k0, k1, v2); err != nil {
+		t.Fatal(err)
+	}
+	if cc.InvalSent == 0 {
+		t.Fatal("write to a shared key sent no invalidations")
+	}
+	runUntil(t, f, time.Second, "write ack and invalidation delivery", func() bool {
+		return cc.WriteAcks >= 1 && cc.InvalDelivered >= 1
+	})
+	if srv.Store[apps.KeyOf(k0, k1)] != v2 {
+		t.Fatalf("server store = %d, want %d", srv.Store[apps.KeyOf(k0, k1)], v2)
+	}
+
+	// The no-stale-hit assertion: leaf 1 must never see v1 again. Its own
+	// copy was evicted, so the read either hits the updated home spine or
+	// misses through to the server — both return v2.
+	if r := get(1); r.value != v2 {
+		t.Fatalf("post-invalidate read on leaf1 returned stale %d, want %d (hit=%v)", r.value, v2, r.hit)
+	}
+	// The writer's leaf holds the new value directly.
+	if r := get(0); !r.hit || r.value != v2 {
+		t.Fatalf("post-write read on leaf0 = (%d, hit=%v), want (%d, hit)", r.value, r.hit, v2)
+	}
+	// And leaf 1 converges back to hitting after its re-fill.
+	if r := get(1); r.value != v2 {
+		t.Fatalf("re-read on leaf1 = %d, want %d", r.value, v2)
+	}
+}
+
+// TestCoherenceWriteFromRemoteLeaf writes from the leaf that did NOT warm
+// the cache, exercising invalidation toward the warmer's leaf.
+func TestCoherenceWriteFromRemoteLeaf(t *testing.T) {
+	f, err := fabric.New(fabric.DefaultConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := fabric.NewController(f)
+	srv, srvIP := addServer(t, f, 1)
+
+	const k0, k1 = 0x11, 0x22
+	const v1, v2 = 7, 8
+	srv.Store[apps.KeyOf(k0, k1)] = v1
+
+	cc, err := fabric.NewCoherentCache(fc, 11, []int{0, 1}, srv.MAC(), srvIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last struct {
+		seq   uint32
+		value uint32
+	}
+	cc.OnResponse = func(leaf int, seq, value uint32, hit bool) { last.seq, last.value = seq, value }
+
+	if err := cc.Warm(0, []apps.KVMsg{{Key0: k0, Key1: k1, Value: v1}}); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(50 * time.Millisecond)
+
+	// Write from leaf 1: leaf 0's warmed copy must be invalidated.
+	if _, err := cc.Put(1, k0, k1, v2); err != nil {
+		t.Fatal(err)
+	}
+	runUntil(t, f, time.Second, "write ack and invalidation delivery", func() bool {
+		return cc.WriteAcks >= 1 && cc.InvalDelivered >= 1
+	})
+
+	seq, err := cc.Get(0, k0, k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runUntil(t, f, time.Second, "read after remote write", func() bool { return last.seq == seq })
+	if last.value != v2 {
+		t.Fatalf("leaf0 read %d after remote write, want %d", last.value, v2)
+	}
+}

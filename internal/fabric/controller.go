@@ -1,0 +1,334 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"activermt/internal/alloc"
+	"activermt/internal/client"
+	"activermt/internal/packet"
+	"activermt/internal/telemetry"
+)
+
+// maxAskBlocks is the wire-format ceiling on one access's demand (the
+// allocation request carries demand as a byte of blocks).
+const maxAskBlocks = 255
+
+// admitDeadline bounds each per-device admission attempt in virtual time —
+// generous against the controller's compute and table-update costs.
+const admitDeadline = 5 * time.Second
+
+// Shard is one device's slice of a spilled tenant: its own FID (base+k for
+// the k-th engaged device), its own shim client, and the per-access block
+// grant it won on that device.
+type Shard struct {
+	Node   *Node
+	Client *client.Client
+	FID    uint16
+	Blocks int // granted blocks per access
+}
+
+// Tenant is one path-placed tenant: the traffic path its placement is
+// confined to and the shards that together cover its demand.
+type Tenant struct {
+	BaseFID uint16
+	Leaf    int // the leaf its hosts attach to
+	Path    []*Node
+	Shards  []*Shard
+	// Unplaced is the demand (blocks per access) no on-path device could
+	// hold; zero when the path fully absorbed the tenant.
+	Unplaced int
+}
+
+// FIDs returns every FID the tenant holds across its shards.
+func (t *Tenant) FIDs() []uint16 {
+	out := make([]uint16, 0, len(t.Shards))
+	for _, s := range t.Shards {
+		out = append(out, s.FID)
+	}
+	return out
+}
+
+// Replica is one device executing a replicated tenant's FID.
+type Replica struct {
+	Node   *Node
+	Leaf   int // leaf the replica's client attaches to
+	Client *client.Client
+}
+
+// ReplicaSet is a FID admitted on several on-path devices with identical
+// placements and equal grant epochs — the precondition for one capsule (one
+// epoch echo, one set of addresses) to execute validly at every member.
+type ReplicaSet struct {
+	FID       uint16
+	Members   []*Replica
+	Placement *alloc.Placement
+	Epoch     uint8
+}
+
+// Controller is the fabric-level allocator layered above the per-switch
+// controllers: it computes tenant paths, drives per-device admissions, and
+// records fabric-wide placement telemetry.
+type Controller struct {
+	F *Fabric
+
+	// Counters (also exported through AttachTelemetry).
+	Placements       uint64 // PlaceTenant calls that placed at least one shard
+	Spills           uint64 // placements that engaged more than one device
+	SpillDevices     uint64 // devices engaged beyond the first, summed
+	FailedPlacements uint64 // placements that could not place all demand
+	ReplicaMismatch  uint64 // replica admissions torn down for placement/epoch skew
+
+	tel *fabricTelemetry
+}
+
+// NewController builds the fabric controller.
+func NewController(f *Fabric) *Controller { return &Controller{F: f} }
+
+// PlaceTenant places demand blocks (per access) for a tenant whose hosts sit
+// on the given leaf and whose traffic anchors at server. The placement walks
+// the tenant's traffic path in proximity order — leaf first, then the
+// path's spine, then the far leaf — asking each device for the remaining
+// demand and halving the ask on rejection, so a full pipeline spills the
+// remainder to the next on-path device instead of failing the tenant.
+// Each engaged device holds its own FID (base+k) with its own client.
+//
+// newService must return a fresh service definition per shard; the
+// controller overrides its per-access demands (inelastic) before admission.
+func (c *Controller) PlaceTenant(baseFID uint16, leaf int, server packet.MAC, demand int, newService func() *client.Service) (*Tenant, error) {
+	path, err := c.F.PathBetween(leaf, server)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tenant{BaseFID: baseFID, Leaf: leaf, Path: path}
+	remaining := demand
+	fid := baseFID
+	for _, node := range path {
+		if remaining <= 0 {
+			break
+		}
+		ask := remaining
+		if ask > maxAskBlocks {
+			ask = maxAskBlocks
+		}
+		svc := newService()
+		svc.Elastic = false
+		failed := false
+		prevFailed := svc.OnFailed
+		svc.OnFailed = func(cl *client.Client) {
+			failed = true
+			if prevFailed != nil {
+				prevFailed(cl)
+			}
+		}
+		cl, err := c.F.AddClient(leaf, fid, node, svc)
+		if err != nil {
+			return t, err
+		}
+		for ask >= 1 {
+			for i := range svc.Specs {
+				svc.Specs[i].Demand = ask
+			}
+			failed = false
+			if err := cl.RequestAllocation(); err != nil {
+				return t, err
+			}
+			limit := c.F.Eng.Now() + admitDeadline
+			for c.F.Eng.Now() < limit && !failed && cl.State() != client.Operational {
+				if c.F.Eng.Pending() == 0 {
+					break
+				}
+				c.F.Eng.Step()
+			}
+			if cl.Operational() {
+				t.Shards = append(t.Shards, &Shard{Node: node, Client: cl, FID: fid, Blocks: ask})
+				remaining -= ask
+				fid++
+				break
+			}
+			ask /= 2
+		}
+	}
+	t.Unplaced = remaining
+	c.recordPlacement(t)
+	if len(t.Shards) == 0 {
+		return t, fmt.Errorf("fabric: tenant %d: no on-path device admitted any demand", baseFID)
+	}
+	return t, nil
+}
+
+// recordPlacement updates the spill/stretch accounting for one placement.
+func (c *Controller) recordPlacement(t *Tenant) {
+	if len(t.Shards) == 0 {
+		c.FailedPlacements++
+		return
+	}
+	c.Placements++
+	if t.Unplaced > 0 {
+		c.FailedPlacements++
+	}
+	if len(t.Shards) > 1 {
+		c.Spills++
+		c.SpillDevices += uint64(len(t.Shards) - 1)
+	}
+	if c.tel != nil {
+		c.tel.record(t)
+	}
+}
+
+// PlaceReplicas admits one FID on the local leaf of every listed leaf index
+// plus the home spine for server traffic, verifying that all members hold
+// identical placements and equal grant epochs. Reader clients attach to
+// their own leaves; the home spine's client attaches to the first leaf. On
+// placement or epoch skew the whole set is released and an error returned —
+// a capsule stamping one epoch echo must be valid everywhere.
+func (c *Controller) PlaceReplicas(fid uint16, leaves []int, server packet.MAC, newService func() *client.Service) (*ReplicaSet, error) {
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("fabric: replica set needs at least one leaf")
+	}
+	home := c.F.SpineFor(server)
+	set := &ReplicaSet{FID: fid}
+	admit := func(leaf int, node *Node) error {
+		cl, err := c.F.AddClient(leaf, fid, node, newService())
+		if err != nil {
+			return err
+		}
+		if err := c.F.WaitOperationalAfterRequest(cl, admitDeadline); err != nil {
+			return fmt.Errorf("fabric: replica on %s: %w", node.Name, err)
+		}
+		set.Members = append(set.Members, &Replica{Node: node, Leaf: leaf, Client: cl})
+		return nil
+	}
+	for _, leaf := range leaves {
+		if leaf < 0 || leaf >= len(c.F.Leaves) {
+			return nil, fmt.Errorf("fabric: leaf %d out of range", leaf)
+		}
+		if err := admit(leaf, c.F.Leaves[leaf]); err != nil {
+			c.releaseSet(set)
+			return nil, err
+		}
+	}
+	if err := admit(leaves[0], home); err != nil {
+		c.releaseSet(set)
+		return nil, err
+	}
+
+	ref := set.Members[0]
+	set.Placement = ref.Client.Placement()
+	set.Epoch = ref.Client.Epoch()
+	for _, m := range set.Members[1:] {
+		if !samePlacement(set.Placement, m.Client.Placement()) || m.Client.Epoch() != set.Epoch {
+			c.ReplicaMismatch++
+			c.releaseSet(set)
+			return nil, fmt.Errorf("fabric: replica on %s diverged from %s (placement or epoch)",
+				m.Node.Name, ref.Node.Name)
+		}
+	}
+	if c.tel != nil {
+		c.tel.recordReplicas(set)
+	}
+	return set, nil
+}
+
+// releaseSet relinquishes every admitted member of a torn-down replica set.
+func (c *Controller) releaseSet(set *ReplicaSet) {
+	for _, m := range set.Members {
+		if m.Client.Placement() != nil {
+			_ = m.Client.Release()
+		}
+	}
+	c.F.RunFor(time.Second)
+}
+
+// samePlacement reports whether two placements grant the same mutant and the
+// same word ranges in the same logical stages.
+func samePlacement(a, b *alloc.Placement) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.MutantIdx != b.MutantIdx || len(a.Accesses) != len(b.Accesses) {
+		return false
+	}
+	for i := range a.Accesses {
+		if a.Accesses[i].Logical != b.Accesses[i].Logical || a.Accesses[i].Range != b.Accesses[i].Range {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitOperationalAfterRequest issues the allocation request and runs the
+// simulation until the client is operational.
+func (f *Fabric) WaitOperationalAfterRequest(cl *client.Client, deadline time.Duration) error {
+	if err := cl.RequestAllocation(); err != nil {
+		return err
+	}
+	return f.WaitOperational(cl, deadline)
+}
+
+// fabricTelemetry holds the controller's registered metric handles.
+type fabricTelemetry struct {
+	occupancy *telemetry.GaugeVec
+	spills    *telemetry.Counter
+	spillDevs *telemetry.Counter
+	mismatch  *telemetry.Counter
+	unplaced  *telemetry.Counter
+	stretch   *telemetry.Histogram
+}
+
+// AttachTelemetry registers fabric-level metrics on the registry: per-switch
+// occupancy (blocks), placement spill counters, and the path-stretch
+// histogram (devices engaged per placement). Call RefreshTelemetry after
+// placements change to republish occupancy gauges.
+func (c *Controller) AttachTelemetry(reg *telemetry.Registry) {
+	if c.tel != nil {
+		return
+	}
+	t := &fabricTelemetry{
+		occupancy: reg.NewGaugeVec("activermt_fabric_switch_occupancy_blocks",
+			"allocated blocks per fabric switch", "switch"),
+		spills: reg.NewCounter("activermt_fabric_placement_spills_total",
+			"tenant placements that engaged more than one on-path device"),
+		spillDevs: reg.NewCounter("activermt_fabric_placement_spill_devices_total",
+			"extra on-path devices engaged beyond the first, summed over placements"),
+		mismatch: reg.NewCounter("activermt_fabric_replica_mismatch_total",
+			"replica admissions torn down for placement or epoch skew"),
+		unplaced: reg.NewCounter("activermt_fabric_placement_unplaced_blocks_total",
+			"demand blocks no on-path device could hold"),
+		stretch: reg.NewHistogram("activermt_fabric_path_stretch_devices",
+			"devices engaged per tenant placement (1 = no stretch)"),
+	}
+	c.tel = t
+	c.RefreshTelemetry()
+}
+
+// record publishes one placement's spill accounting.
+func (t *fabricTelemetry) record(ten *Tenant) {
+	if len(ten.Shards) > 1 {
+		t.spills.Inc()
+		t.spillDevs.Add(uint64(len(ten.Shards) - 1))
+	}
+	if ten.Unplaced > 0 {
+		t.unplaced.Add(uint64(ten.Unplaced))
+	}
+	if len(ten.Shards) > 0 {
+		t.stretch.Observe(uint64(len(ten.Shards)))
+	}
+}
+
+// recordReplicas publishes a replica set's stretch (every member is one
+// engaged device).
+func (t *fabricTelemetry) recordReplicas(set *ReplicaSet) {
+	t.stretch.Observe(uint64(len(set.Members)))
+}
+
+// RefreshTelemetry republishes the per-switch occupancy gauges from the
+// allocators' current state.
+func (c *Controller) RefreshTelemetry() {
+	if c.tel == nil {
+		return
+	}
+	for _, n := range c.F.Nodes() {
+		c.tel.occupancy.With(n.Name).Set(int64(n.OccupiedBlocks()))
+	}
+}

@@ -1,0 +1,349 @@
+// Package fabric grows the single-switch ActiveRMT testbed into a
+// leaf-spine fabric of runtime-programmable switches: N leaf and M spine
+// devices, hosts attached to leaves, full-mesh leaf<->spine links, and a
+// fabric-level controller layered above the per-switch controllers.
+//
+// Each fabric node is a complete ActiveRMT switch — its own RMT pipeline,
+// runtime, allocator, per-switch controller, and capsule guard — so every
+// single-switch guarantee (TCAM isolation, grant epochs, crash recovery)
+// holds per device. What the fabric adds on top:
+//
+//   - Destination-based routing. Every switch runs in relay mode
+//     (switchd.SetRelay): control traffic transits toward the switch it
+//     addresses, and program capsules forwarded onward carry their full
+//     original program so the next on-path device re-executes from the
+//     top. PHV state never crosses devices — a capsule executes a partial
+//     program per device per pass, exactly one fresh execution per hop.
+//
+//   - Path-aware placement. A tenant's traffic path is host -> leaf ->
+//     spine -> leaf -> host; the fabric controller places the tenant's
+//     memory demand on the devices of that path only, preferring the leaf
+//     nearest the tenant's hosts and spilling to the next on-path device
+//     when a pipeline fills (Controller.PlaceTenant). Per-device admission
+//     still runs the paper's cost/utility allocation.
+//
+//   - Replicated placement with aligned epochs. A tenant can admit the
+//     same FID on several on-path devices with identical placements and
+//     equal grant epochs (Controller.PlaceReplicas), so one capsule —
+//     stamping one epoch echo — executes validly at every replica. The
+//     coherent cache (cache.go) builds on this.
+package fabric
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"time"
+
+	"activermt/internal/alloc"
+	"activermt/internal/client"
+	"activermt/internal/guard"
+	"activermt/internal/netsim"
+	"activermt/internal/packet"
+	"activermt/internal/rmt"
+	"activermt/internal/runtime"
+	"activermt/internal/switchd"
+)
+
+// Config selects the fabric's shape and per-device parameters. Every switch
+// is built from the same RMT/alloc configuration (a homogeneous fabric, as
+// in the paper's testbed).
+type Config struct {
+	Leaves int
+	Spines int
+
+	RMT     rmt.Config
+	Alloc   alloc.Config
+	Costs   switchd.Costs
+	Guard   guard.Policy
+	NoGuard bool
+
+	HostLinkDelay   time.Duration // host <-> leaf propagation delay
+	FabricLinkDelay time.Duration // leaf <-> spine propagation delay
+	LinkBW          float64       // bits per second; 0 = infinite
+}
+
+// DefaultConfig mirrors the single-switch testbed defaults on every device:
+// 20-stage pipelines, 1 KB blocks, 40 Gbps links, with a slightly longer
+// leaf-spine propagation delay than the host links.
+func DefaultConfig(leaves, spines int) Config {
+	return Config{
+		Leaves:          leaves,
+		Spines:          spines,
+		RMT:             rmt.DefaultConfig(),
+		Alloc:           alloc.DefaultConfig(),
+		Costs:           switchd.DefaultCosts(),
+		Guard:           guard.DefaultPolicy(),
+		HostLinkDelay:   5 * time.Microsecond,
+		FabricLinkDelay: 10 * time.Microsecond,
+		LinkBW:          40e9,
+	}
+}
+
+// Node is one fully assembled fabric switch.
+type Node struct {
+	Name  string
+	Leaf  bool
+	Index int // index within its tier
+	MAC   packet.MAC
+
+	RT     *runtime.Runtime
+	Switch *switchd.Switch
+	Ctrl   *switchd.Controller
+	Guard  *guard.Guard // nil when Config.NoGuard
+
+	nextPort int
+	// up maps spine index -> local port (on leaves); down maps leaf
+	// index -> local port (on spines).
+	up, down map[int]int
+}
+
+// OccupiedBlocks sums the allocator's per-stage usage — the node's occupancy
+// in blocks.
+func (n *Node) OccupiedBlocks() int {
+	al := n.Ctrl.Allocator()
+	total := 0
+	for s := 0; s < al.Config().NumStages; s++ {
+		total += al.StageUsed(s)
+	}
+	return total
+}
+
+// SwitchMAC returns the deterministic address of a fabric switch.
+func SwitchMAC(leaf bool, idx int) packet.MAC {
+	tier := byte(2)
+	if leaf {
+		tier = 1
+	}
+	return packet.MAC{0x02, 0xF0, tier, 0x00, byte(idx >> 8), byte(idx)}
+}
+
+// HostMAC returns the deterministic address of fabric host n.
+func HostMAC(n int) packet.MAC {
+	return packet.MAC{0x02, 0xF0, 0x00, 0x01, byte(n >> 8), byte(n)}
+}
+
+// HostIP returns the deterministic IP of fabric host n.
+func HostIP(n int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 1, byte(n >> 8), byte(n)})
+}
+
+// Fabric is an assembled leaf-spine topology.
+type Fabric struct {
+	Eng    *netsim.Engine
+	Leaves []*Node
+	Spines []*Node
+
+	cfg      Config
+	hostLeaf map[packet.MAC]int // host MAC -> leaf index
+	nextHost int
+}
+
+// New builds the fabric: every switch assembled like the single-switch
+// testbed (runtime, allocator, controller, guard), every leaf linked to
+// every spine, and all switches in relay mode.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.Leaves < 1 || cfg.Spines < 1 {
+		return nil, fmt.Errorf("fabric: need at least 1 leaf and 1 spine, got %dx%d", cfg.Leaves, cfg.Spines)
+	}
+	f := &Fabric{
+		Eng:      netsim.NewEngine(),
+		cfg:      cfg,
+		hostLeaf: make(map[packet.MAC]int),
+	}
+	build := func(leaf bool, idx int) (*Node, error) {
+		rt, err := runtime.New(cfg.RMT)
+		if err != nil {
+			return nil, err
+		}
+		al, err := alloc.New(cfg.Alloc)
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{
+			Leaf:  leaf,
+			Index: idx,
+			MAC:   SwitchMAC(leaf, idx),
+			RT:    rt,
+
+			nextPort: 1,
+			up:       make(map[int]int),
+			down:     make(map[int]int),
+		}
+		if leaf {
+			n.Name = fmt.Sprintf("leaf%d", idx)
+		} else {
+			n.Name = fmt.Sprintf("spine%d", idx)
+		}
+		n.Switch = switchd.NewSwitch(f.Eng, rt, n.MAC)
+		n.Switch.SetRelay(true)
+		n.Ctrl = switchd.NewController(f.Eng, n.Switch, al, cfg.Costs)
+		if !cfg.NoGuard {
+			pol := cfg.Guard
+			if pol == (guard.Policy{}) {
+				pol = guard.DefaultPolicy()
+			}
+			n.Guard = guard.New(rt, pol, f.Eng.Now)
+			n.Switch.SetGuard(n.Guard)
+			rt.SetGuardHook(n.Guard)
+			n.Ctrl.AttachGuard(n.Guard)
+		}
+		return n, nil
+	}
+	for i := 0; i < cfg.Leaves; i++ {
+		n, err := build(true, i)
+		if err != nil {
+			return nil, err
+		}
+		f.Leaves = append(f.Leaves, n)
+	}
+	for j := 0; j < cfg.Spines; j++ {
+		n, err := build(false, j)
+		if err != nil {
+			return nil, err
+		}
+		f.Spines = append(f.Spines, n)
+	}
+
+	// Full-mesh leaf<->spine links, with the switch MACs routed directly so
+	// control traffic can address any device from any host.
+	for i, l := range f.Leaves {
+		for j, s := range f.Spines {
+			lp, sp := l.nextPort, s.nextPort
+			l.nextPort++
+			s.nextPort++
+			lPort, sPort := netsim.Connect(f.Eng, l.Switch, lp, s.Switch, sp, cfg.FabricLinkDelay, cfg.LinkBW)
+			l.Switch.AddPort(lPort, s.MAC)
+			s.Switch.AddPort(sPort, l.MAC)
+			l.up[j] = lp
+			s.down[i] = sp
+		}
+	}
+	// Leaf-to-remote-leaf switch MACs route via the destination leaf's
+	// deterministic spine, so a host can negotiate with any leaf's
+	// controller, not only its own.
+	for i, l := range f.Leaves {
+		for k, other := range f.Leaves {
+			if i == k {
+				continue
+			}
+			l.Switch.AddRoute(other.MAC, l.up[f.spineForMAC(other.MAC)])
+		}
+	}
+	return f, nil
+}
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Nodes returns every switch, leaves first.
+func (f *Fabric) Nodes() []*Node {
+	out := make([]*Node, 0, len(f.Leaves)+len(f.Spines))
+	out = append(out, f.Leaves...)
+	return append(out, f.Spines...)
+}
+
+// spineForMAC hashes a destination MAC onto a spine index: the fabric's
+// deterministic ECMP stand-in. Every sender picks the same spine for a
+// destination, so all traffic toward one host shares one spine.
+func (f *Fabric) spineForMAC(mac packet.MAC) int {
+	h := fnv.New32a()
+	h.Write(mac[:])
+	return int(h.Sum32() % uint32(len(f.Spines)))
+}
+
+// SpineFor returns the spine node that carries traffic toward dst.
+func (f *Fabric) SpineFor(dst packet.MAC) *Node { return f.Spines[f.spineForMAC(dst)] }
+
+// AttachHost connects an endpoint to a leaf and installs routes for its MAC
+// fabric-wide (local leaf direct, spines via their downlink, remote leaves
+// via the host's deterministic spine). Returns the endpoint's NIC port.
+func (f *Fabric) AttachHost(leaf int, ep netsim.Endpoint, mac packet.MAC) (*netsim.Port, error) {
+	if leaf < 0 || leaf >= len(f.Leaves) {
+		return nil, fmt.Errorf("fabric: leaf %d out of range", leaf)
+	}
+	l := f.Leaves[leaf]
+	pnum := l.nextPort
+	l.nextPort++
+	swPort, epPort := netsim.Connect(f.Eng, l.Switch, pnum, ep, 0, f.cfg.HostLinkDelay, f.cfg.LinkBW)
+	l.Switch.AddPort(swPort, mac)
+	spine := f.spineForMAC(mac)
+	for i, other := range f.Leaves {
+		if i != leaf {
+			other.Switch.AddRoute(mac, other.up[spine])
+		}
+	}
+	for _, s := range f.Spines {
+		s.Switch.AddRoute(mac, s.down[leaf])
+	}
+	f.hostLeaf[mac] = leaf
+	return epPort, nil
+}
+
+// NewHostID reserves a fabric-unique host identity.
+func (f *Fabric) NewHostID() (packet.MAC, netip.Addr) {
+	f.nextHost++
+	return HostMAC(f.nextHost), HostIP(f.nextHost)
+}
+
+// LeafOf returns the leaf index a host MAC is attached to.
+func (f *Fabric) LeafOf(mac packet.MAC) (int, bool) {
+	l, ok := f.hostLeaf[mac]
+	return l, ok
+}
+
+// PathBetween returns the switches a frame from a host on srcLeaf traverses
+// toward dst, in traversal order: source leaf, then (for remote
+// destinations) the destination's spine and the destination leaf.
+func (f *Fabric) PathBetween(srcLeaf int, dst packet.MAC) ([]*Node, error) {
+	if srcLeaf < 0 || srcLeaf >= len(f.Leaves) {
+		return nil, fmt.Errorf("fabric: leaf %d out of range", srcLeaf)
+	}
+	dstLeaf, ok := f.hostLeaf[dst]
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown destination %s", dst)
+	}
+	if dstLeaf == srcLeaf {
+		return []*Node{f.Leaves[srcLeaf]}, nil
+	}
+	return []*Node{f.Leaves[srcLeaf], f.SpineFor(dst), f.Leaves[dstLeaf]}, nil
+}
+
+// AddClient builds a shim client on a leaf that negotiates with the given
+// fabric switch (its own leaf, a spine, or a remote leaf — control frames
+// transit the fabric either way). The client's pipeline view matches the
+// homogeneous switch configuration.
+func (f *Fabric) AddClient(leaf int, fid uint16, target *Node, svc *client.Service) (*client.Client, error) {
+	mac, _ := f.NewHostID()
+	cl := client.New(f.Eng, fid, mac, target.MAC, svc)
+	cl.Pipeline = client.Pipeline{
+		NumStages:  f.cfg.RMT.NumStages,
+		NumIngress: f.cfg.RMT.NumIngress,
+		MaxPasses:  f.cfg.Alloc.MaxPasses,
+	}
+	p, err := f.AttachHost(leaf, cl, mac)
+	if err != nil {
+		return nil, err
+	}
+	cl.Attach(p)
+	return cl, nil
+}
+
+// RunFor advances virtual time by d.
+func (f *Fabric) RunFor(d time.Duration) { f.Eng.RunUntil(f.Eng.Now() + d) }
+
+// WaitOperational runs the simulation until the client is operational or the
+// deadline passes.
+func (f *Fabric) WaitOperational(cl *client.Client, deadline time.Duration) error {
+	limit := f.Eng.Now() + deadline
+	for f.Eng.Now() < limit && cl.State() != client.Operational {
+		if f.Eng.Pending() == 0 {
+			break
+		}
+		f.Eng.Step()
+	}
+	if cl.State() != client.Operational {
+		return fmt.Errorf("fabric: fid %d stuck in %v", cl.FID(), cl.State())
+	}
+	return nil
+}

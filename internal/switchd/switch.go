@@ -28,9 +28,18 @@ type Switch struct {
 	ports map[int]*netsim.Port
 	hosts map[packet.MAC]int // L2 table: MAC -> port
 
+	// relay marks the switch as a fabric transit node: control traffic not
+	// addressed to this switch is forwarded toward its destination instead of
+	// being consumed, and program capsules forwarded onward carry the full
+	// original program so the next on-path device re-executes from the top
+	// (PHV state does not cross devices). Off by default — a standalone
+	// switch behaves exactly as before.
+	relay bool
+
 	// Counters.
 	FramesIn, FramesForwarded, FramesReturned, FramesDropped uint64
 	UnknownMAC, GuardDropped                                 uint64
+	ControlTransit, RelayedPrograms                          uint64
 }
 
 // NewSwitch builds a switch around a runtime. Attach the controller with
@@ -73,6 +82,16 @@ func (s *Switch) AddPort(p *netsim.Port, host packet.MAC) {
 	s.hosts[host] = p.Num
 }
 
+// AddRoute maps an additional destination MAC to an already-registered port
+// — the fabric's static routing table entries (remote hosts reached via an
+// uplink).
+func (s *Switch) AddRoute(dst packet.MAC, pnum int) {
+	s.hosts[dst] = pnum
+}
+
+// SetRelay switches fabric transit behavior on or off (see the relay field).
+func (s *Switch) SetRelay(on bool) { s.relay = on }
+
 // Receive implements netsim.Endpoint: the switch pipeline entry point.
 func (s *Switch) Receive(frame []byte, port *netsim.Port) {
 	s.FramesIn++
@@ -96,15 +115,30 @@ func (s *Switch) Receive(frame []byte, port *netsim.Port) {
 	}
 	switch f.Active.Header.Type() {
 	case packet.TypeAllocReq, packet.TypeControl:
-		// Control traffic reaches the controller as a digest.
+		// Control traffic reaches the controller as a digest. In a fabric,
+		// only the switch a control frame addresses consumes it; a transit
+		// node passes it along like plain traffic.
+		if s.relay && f.Eth.Dst != s.mac {
+			s.ControlTransit++
+			s.forward(f, s.rt.Device().Config().PassLatency)
+			return
+		}
 		if s.ctrl != nil {
 			s.ctrl.Digest(f, port)
 		}
 	case packet.TypeProgram:
 		s.execute(f, port)
+	case packet.TypeAllocResp:
+		// Allocation responses originate at switches; a standalone switch
+		// drops one arriving on a port, but a fabric transit node carries
+		// responses from an upstream switch toward the client host.
+		if s.relay && f.Eth.Dst != s.mac {
+			s.ControlTransit++
+			s.forward(f, s.rt.Device().Config().PassLatency)
+			return
+		}
+		s.FramesDropped++
 	default:
-		// Allocation responses originate at the switch; one arriving from
-		// a host is bogus.
 		s.FramesDropped++
 	}
 }
@@ -123,6 +157,21 @@ func (s *Switch) execute(f *packet.Frame, in *netsim.Port) {
 		}
 		of := &packet.Frame{Eth: f.Eth, Active: out.Active, Inner: out.Active.Payload}
 		lat := out.Latency
+		if s.relay && !out.ToSender && out.Active.Program != nil {
+			// Fabric relay: a capsule forwarded onward re-executes from the
+			// top at the next on-path device — PHV state does not cross
+			// switches, so the executed prefix must ride along un-stripped.
+			// The original decoded program is immutable under execution, so
+			// reattaching it restores the capsule to its ingress form.
+			if out.Active != f.Active {
+				restored := *out.Active
+				restored.Program = f.Active.Program
+				restored.ValidState = f.Active.ValidState
+				of.Active = &restored
+				of.Inner = restored.Payload
+				s.RelayedPrograms++
+			}
+		}
 		switch {
 		case out.ToSender:
 			// RTS: swap addresses and return via the ingress port.
