@@ -46,6 +46,7 @@ import (
 	"activermt/internal/fabric"
 	"activermt/internal/netsim"
 	"activermt/internal/packet"
+	"activermt/internal/soak"
 	"activermt/internal/telemetry"
 	"activermt/internal/testbed"
 	"activermt/internal/workload"
@@ -59,7 +60,21 @@ func main() {
 	telAddr := flag.String("telemetry", "", "serve Prometheus/JSON telemetry on this address during -scenario cache (e.g. 127.0.0.1:9464)")
 	topology := flag.String("topology", "single", `"single" or "leafspine:<leaves>x<spines>" (-scenario cache only)`)
 	switches := flag.Int("switches", 0, "shorthand for -topology leafspine:(N-1)x1; 0 or 1 keeps the single switch")
+	soakDur := flag.Duration("soak", 0, "run the long-soak invariant harness for this much virtual time (overrides -scenario)")
+	soakCSV := flag.String("soak-csv", "", "with -soak: write per-epoch metrics CSV to this file")
 	flag.Parse()
+
+	if *soakDur > 0 {
+		if err := runSoak(*seed, *soakDur, *soakCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "activesim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *soakCSV != "" {
+		fmt.Fprintln(os.Stderr, "activesim: -soak-csv requires -soak")
+		os.Exit(2)
+	}
 
 	if (*chaosName != "" || *adversary || *telAddr != "") && *scenario != "cache" {
 		fmt.Fprintln(os.Stderr, "activesim: -chaos, -adversary, and -telemetry only apply to -scenario cache")
@@ -95,6 +110,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "activesim:", err)
 		os.Exit(1)
 	}
+}
+
+// runSoak drives the internal/soak harness: a leaf-spine fabric under
+// continuous chaos, tenant churn, and a coherent-cache workload, with
+// invariants checked every virtual epoch. Exits non-zero on any violation.
+func runSoak(seed int64, dur time.Duration, csvPath string) error {
+	cfg := soak.Config{Duration: dur, Seed: seed, Progress: func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		cfg.CSV = w
+	}
+	res, err := soak.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("soak: %d epochs over %v virtual: %d reads (%d lost, %.0f%% hit), %d writes acked, %d tenants placed, %d chaos scenarios, %d reconciles, p99=%v\n",
+		res.Epochs, res.Elapsed, res.ReadsDone, res.Lost, 100*res.HitRate,
+		res.Acked, res.TenantsPlaced, res.ChaosInstalled, res.Reconciles, res.P99)
+	k := res.SpineKill
+	fmt.Printf("soak: spine-kill arc: fired=%v degraded=%v rerouted=%v reconciled=%v recovered=%v\n",
+		k.Fired, k.Degraded, k.Rerouted, k.Reconciled, k.Recovered)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "soak: invariant violation: %v\n", v)
+			for _, line := range v.Trace {
+				fmt.Fprintf(os.Stderr, "  trace: %s\n", line)
+			}
+		}
+		return fmt.Errorf("%d invariant violation(s)", len(res.Violations))
+	}
+	return nil
 }
 
 func runFromExperiment(id string, seed int64) error {

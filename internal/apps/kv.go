@@ -17,19 +17,24 @@ import (
 )
 
 // KV message opcodes (the application-level protocol the cache accelerates).
+// KVInval never reaches the server: it rides inside a coherence invalidation
+// capsule addressed to a cache frontend, and its Seq is the invalidation's
+// correlation token — delivery back at the frontend acknowledges that the
+// sentinel executed at that frontend's leaf.
 const (
-	KVGet  = 0x01
-	KVPut  = 0x02
-	KVResp = 0x03
+	KVGet   = 0x01
+	KVPut   = 0x02
+	KVResp  = 0x03
+	KVInval = 0x04
 )
 
 // KVMsg is the application-level key-value message carried in UDP payloads:
 // 8-byte keys, 4-byte values (the object sizes of Section 3.4).
 type KVMsg struct {
-	Op           uint8
-	Key0, Key1   uint32
-	Value        uint32
-	Seq          uint32 // request sequence number for RTT accounting
+	Op         uint8
+	Key0, Key1 uint32
+	Value      uint32
+	Seq        uint32 // request sequence number for RTT accounting
 }
 
 // KVMsgSize is the encoded size.

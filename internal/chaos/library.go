@@ -16,7 +16,8 @@ import (
 // Names lists the library scenarios accepted by Build (and activesim
 // -chaos).
 func Names() []string {
-	return []string{"flaky-link", "flapping-port", "controller-outage", "corrupted-memory"}
+	return []string{"flaky-link", "flapping-port", "controller-outage", "corrupted-memory",
+		"link-outage", "link-flap", "partition"}
 }
 
 // Build constructs a library scenario by name. links are the client-side
@@ -35,6 +36,21 @@ func Build(name string, links []*netsim.Port, seed int64) (*Scenario, error) {
 		return ControllerOutage(40*time.Millisecond, 400*time.Millisecond, seed), nil
 	case "corrupted-memory":
 		return CorruptedMemory(0, 24, 200*time.Millisecond, 400*time.Millisecond, seed), nil
+	case "link-outage":
+		if len(links) == 0 {
+			return nil, fmt.Errorf("chaos: %s needs at least one link", name)
+		}
+		return LinkOutageScenario(links[0], 100*time.Millisecond, 500*time.Millisecond, seed), nil
+	case "link-flap":
+		if len(links) == 0 {
+			return nil, fmt.Errorf("chaos: %s needs at least one link", name)
+		}
+		return LinkFlapScenario(links[0], 200*time.Millisecond, 6, seed), nil
+	case "partition":
+		if len(links) == 0 {
+			return nil, fmt.Errorf("chaos: %s needs at least one link", name)
+		}
+		return PartitionScenario(links, 100*time.Millisecond, 500*time.Millisecond, seed), nil
 	default:
 		return nil, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Names())
 	}
@@ -101,6 +117,44 @@ func SwitchOutage(name string, ctrl *switchd.Controller, crashAt, downFor time.D
 	s := NewScenario("switch-outage:"+name, seed)
 	s.At(crashAt, "crash:"+name, func(*System) { ctrl.Crash() })
 	s.At(crashAt+downFor, "restart:"+name, func(*System) { ctrl.Restart() })
+	return s
+}
+
+// LinkOutageScenario kills one duplex link outright at outageAt and restores
+// it downFor later: the clean-cut fabric failure a health monitor must
+// detect (probes stop coming back), route around, and recover from.
+func LinkOutageScenario(link *netsim.Port, outageAt, downFor time.Duration, seed int64) *Scenario {
+	s := NewScenario("link-outage", seed)
+	inj := LinkOutage{Link: link}
+	s.Apply(outageAt, inj)
+	s.Revert(outageAt+downFor, inj)
+	return s
+}
+
+// LinkFlapScenario oscillates one duplex link (period/2 down, period/2 up)
+// for the given number of flaps starting at 100 ms, then restores it. The
+// flapping link is the adversarial case for failure detection: each down
+// kills in-flight frames, each up tempts the monitor to trust the link
+// again.
+func LinkFlapScenario(link *netsim.Port, period time.Duration, flaps int, seed int64) *Scenario {
+	s := NewScenario("link-flap", seed)
+	inj := &LinkFlap{Link: link, Period: period, Flaps: flaps}
+	s.Apply(100*time.Millisecond, inj)
+	s.Revert(100*time.Millisecond+time.Duration(flaps+1)*period, inj)
+	return s
+}
+
+// PartitionScenario downs every given port at partitionAt and restores them
+// all downFor later: the clean isolation of one device (or one failure
+// domain) from the rest of the fabric — e.g. every spine-side port of one
+// spine (fabric.SpinePorts), the "spine kill". A one-sided down kills both
+// directions: sends from the port are dropped at the port, sends toward it
+// at delivery.
+func PartitionScenario(ports []*netsim.Port, partitionAt, downFor time.Duration, seed int64) *Scenario {
+	s := NewScenario("partition", seed)
+	inj := Partition{Ports: ports}
+	s.Apply(partitionAt, inj)
+	s.Revert(partitionAt+downFor, inj)
 	return s
 }
 

@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"activermt/internal/netsim"
+)
+
+// LinkOutage kills one duplex link outright: both ends go administratively
+// down, so sends from either side are dropped at the port and frames already
+// in flight die at delivery. Revert restores both directions. This is the
+// fabric failure a health monitor must detect and route around — unlike
+// LinkLoss, nothing gets through and nothing comes back.
+type LinkOutage struct {
+	Link *netsim.Port
+}
+
+// Name implements Injector.
+func (LinkOutage) Name() string { return "link-outage" }
+
+// Apply implements Injector.
+func (l LinkOutage) Apply(*System) {
+	l.Link.SetDown(true)
+	l.Link.Peer().SetDown(true)
+}
+
+// Revert implements Injector.
+func (l LinkOutage) Revert(*System) {
+	l.Link.SetDown(false)
+	l.Link.Peer().SetDown(false)
+}
+
+// LinkFlap oscillates a duplex link: Period/2 down, Period/2 up, rearming
+// itself on the engine until Revert (or until Flaps transitions, when set).
+// Every down transition kills the frames on the wire, so a flapping fabric
+// link exercises both the loss path and the health monitor's dead/alive
+// hysteresis — the pathological case where a link is neither up nor down
+// long enough to trust.
+type LinkFlap struct {
+	Link   *netsim.Port
+	Period time.Duration
+	Flaps  int // 0 = flap until Revert
+
+	state *flapState
+}
+
+type flapState struct {
+	stopped bool
+	fired   int
+}
+
+// Name implements Injector.
+func (l *LinkFlap) Name() string { return fmt.Sprintf("link-flap(%v)", l.Period) }
+
+// Apply implements Injector: takes the link down now and schedules the
+// up/down oscillation on the system engine.
+func (l *LinkFlap) Apply(sys *System) {
+	period := l.Period
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	st := &flapState{}
+	l.state = st
+	link, peer := l.Link, l.Link.Peer()
+	setDown := func(down bool) {
+		link.SetDown(down)
+		peer.SetDown(down)
+	}
+	var cycle func(down bool)
+	cycle = func(down bool) {
+		if st.stopped {
+			return
+		}
+		setDown(down)
+		if down {
+			st.fired++
+			if l.Flaps > 0 && st.fired >= l.Flaps {
+				// Last programmed flap: come back up half a period later and
+				// stop oscillating.
+				sys.Eng.Schedule(period/2, func() {
+					if !st.stopped {
+						setDown(false)
+					}
+				})
+				return
+			}
+		}
+		sys.Eng.Schedule(period/2, func() { cycle(!down) })
+	}
+	cycle(true)
+}
+
+// Revert implements Injector: stops the oscillation and restores the link.
+func (l *LinkFlap) Revert(*System) {
+	if l.state != nil {
+		l.state.stopped = true
+	}
+	l.Link.SetDown(false)
+	l.Link.Peer().SetDown(false)
+}

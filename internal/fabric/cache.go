@@ -9,28 +9,44 @@
 // capsule kinds built from the same populate program (RTS replaced by NOP,
 // apps.CoherentCacheService):
 //
+//   - invalidation: a populate-fwd capsule writing the sentinel key into
+//     the stale leaf's replica. It is sent FROM that leaf's own frontend,
+//     addressed to the frontend's own MAC, so it hairpins on the host link:
+//     up to the leaf switch (where the sentinel executes), straight back to
+//     the frontend. Delivery back at the frontend IS the acknowledgement —
+//     the capsule carries a KVInval payload whose Seq correlates it to the
+//     pending write. Because the hairpin never crosses a fabric link, no
+//     fabric fault can silently lose an invalidation; a lost hairpin (host
+//     link chaos) is retransmitted until acknowledged.
 //   - update: a populate-fwd capsule carrying the KVPut payload, addressed
 //     to the server. It installs the new value at the writer's leaf (and
-//     anything en route); the server applies the authoritative update and
-//     acks with a KVResp. A companion capsule addressed to the home
-//     SWITCH itself installs the value at the home replica and terminates
-//     there — necessary because a writer on the server's own leaf never
-//     crosses the home spine on the server path.
-//   - invalidation: a populate-fwd capsule writing the sentinel key,
-//     addressed to the stale leaf's frontend. It evicts that leaf's copy;
-//     the next read there misses through the (already updated) home or
-//     server and re-fills.
+//     any replica en route — normally the home spine); the server applies
+//     the authoritative update and acks with a KVResp. A companion capsule
+//     addressed to the home SWITCH itself installs the value at the home
+//     replica and terminates there — necessary because a writer on the
+//     server's own leaf never crosses the home spine on the server path.
 //
-// Invalidations are sent before the update: both capsule kinds execute at
-// the writer's leaf, and per-link FIFO ordering guarantees the sentinel the
-// invalidation writes there (and at the home, when it crosses it) is
-// overwritten by the update's new value.
+// Writes are two-phase: phase 1 invalidates every other leaf copy and waits
+// for all hairpin acks; only then does phase 2 commit (home update + server
+// write-through). A write is acknowledged (KVResp/WriteAck) only after the
+// commit capsule traversed its whole path — so at WriteAck time every leaf
+// copy of the old value is gone and every replica the commit crossed holds
+// the new one, which is the protocol's linearization point: a read issued
+// after a WriteAck can never return the overwritten value. Fills racing a
+// write are suppressed (a read response only installs if no write to the
+// key started since the read was issued), so a slow miss cannot resurrect
+// a dead value either.
+//
+// Degraded-mode operation when the home spine becomes unreachable — drain,
+// stale-key tracking, resynchronization, and whole-set repair — lives in
+// failover.go.
 package fabric
 
 import (
 	"fmt"
 	"hash/fnv"
 	"net/netip"
+	"time"
 
 	"activermt/internal/apps"
 	"activermt/internal/client"
@@ -52,11 +68,34 @@ type front struct {
 	ip   netip.Addr
 }
 
-// pendingOp tracks one outstanding request by sequence number.
+// pendingOp tracks one outstanding request by sequence number. wgen records
+// the key's write generation when the request was issued, so a fill is
+// installed only if no write to the key started in between.
 type pendingOp struct {
 	leaf   int
 	op     uint8
 	k0, k1 uint32
+	wgen   uint32
+}
+
+// pendingWrite is one two-phase write in flight: phase 1 waits for the
+// hairpin invalidation acks in waiting; phase 2 (commit) retransmits the
+// server write-through until the KVResp arrives.
+type pendingWrite struct {
+	leaf        int
+	k0, k1      uint32
+	addr, value uint32
+	seq         uint32
+	waiting     map[uint32]int // invalidation seq -> target leaf
+	committed   bool
+	commitTries int
+}
+
+// pendingInval is one unacknowledged hairpin invalidation.
+type pendingInval struct {
+	w     *pendingWrite
+	leaf  int
+	tries int
 }
 
 // CoherentCache is the replicated, write-coherent tier of the fabric cache
@@ -66,19 +105,49 @@ type CoherentCache struct {
 	set    *ReplicaSet
 	srvMAC packet.MAC
 	srvIP  netip.Addr
+	home   int // home spine index (spineForMAC(server))
+	svc    func() *client.Service
 
 	fronts  map[int]*front
 	dir     map[uint64]map[int]bool // key -> leaves holding a copy
 	seq     uint32
 	pending map[uint32]pendingOp
 
+	// Two-phase write state.
+	writing map[uint64]*pendingWrite // key -> write awaiting acks
+	wgens   map[uint64]uint32        // key -> write generation
+	invals  map[uint32]*pendingInval // inval seq -> pending inval
+
+	// Degraded-mode state (failover.go).
+	health     *Health
+	degraded   bool
+	recovering bool            // degraded-exit poller active
+	homeStale  map[uint64]bool // keys whose home copy may be stale
+
+	// InvalRetry is the hairpin invalidation retransmit interval (default
+	// 200us, backing off x2 up to 16x); CommitRetry likewise for the commit
+	// capsule (default 2ms).
+	InvalRetry  time.Duration
+	CommitRetry time.Duration
+
 	// Stats.
 	Hits, Misses, Fills, WriteAcks uint64
 	PopAcks                        uint64
 	InvalSent, InvalDelivered      uint64
+	InvalRetransmits               uint64
+	CommitRetransmits              uint64
+	FillsSuppressed                uint64
+	DegradedEntries, DegradedExits uint64
+	HomeSyncs                      uint64
+	Wipes                          uint64
+	Repairs                        uint64
+	HomeEvictions                  uint64
 
 	// OnResponse fires for every completed GET.
 	OnResponse func(leaf int, seq, value uint32, hit bool)
+	// OnWriteAck fires when a write's server ack lands — the point after
+	// which no read may return an older value for that key.
+	OnWriteAck func(leaf int, seq, value uint32)
 }
 
 // NewCoherentCache places the replica set (reader leaves + home spine for
@@ -89,13 +158,21 @@ func NewCoherentCache(fc *Controller, fid uint16, leaves []int, srvMAC packet.MA
 		return nil, err
 	}
 	c := &CoherentCache{
-		fc:      fc,
-		set:     set,
-		srvMAC:  srvMAC,
-		srvIP:   srvIP,
-		fronts:  make(map[int]*front),
-		dir:     make(map[uint64]map[int]bool),
-		pending: make(map[uint32]pendingOp),
+		fc:          fc,
+		set:         set,
+		srvMAC:      srvMAC,
+		srvIP:       srvIP,
+		home:        fc.F.spineForMAC(srvMAC),
+		svc:         apps.CoherentCacheService,
+		fronts:      make(map[int]*front),
+		dir:         make(map[uint64]map[int]bool),
+		pending:     make(map[uint32]pendingOp),
+		writing:     make(map[uint64]*pendingWrite),
+		wgens:       make(map[uint64]uint32),
+		invals:      make(map[uint32]*pendingInval),
+		homeStale:   make(map[uint64]bool),
+		InvalRetry:  200 * time.Microsecond,
+		CommitRetry: 2 * time.Millisecond,
 	}
 	for _, m := range set.Members {
 		if !m.Node.Leaf {
@@ -159,17 +236,18 @@ func (c *CoherentCache) Get(leaf int, k0, k1 uint32) (uint32, error) {
 	if !ok {
 		return 0, fmt.Errorf("fabric: cache has no capacity")
 	}
-	c.pending[c.seq] = pendingOp{leaf: leaf, op: apps.KVGet, k0: k0, k1: k1}
+	c.pending[c.seq] = pendingOp{leaf: leaf, op: apps.KVGet, k0: k0, k1: k1, wgen: c.wgens[apps.KeyOf(k0, k1)]}
 	return c.seq, fr.cl.SendProgram("main", [4]uint32{k0, k1, addr, 0}, 0, payload, c.srvMAC)
 }
 
-// Put writes a key from the given leaf: invalidations evict every OTHER
-// leaf's copy, then the update capsule installs the new value at the
-// writer's leaf and the home spine and commits it at the server. The
-// directory then records the writer as the only leaf copy.
+// Put writes a key from the given leaf, two-phase: phase 1 sends a hairpin
+// invalidation to every OTHER leaf holding a copy and waits for all acks;
+// phase 2 (commit) installs the new value at the writer's leaf and the home
+// spine and writes it through to the server. The directory then records the
+// writer as the only leaf copy. Returns the write's sequence number — the
+// KVResp carrying it (WriteAck) is the write's linearization point.
 func (c *CoherentCache) Put(leaf int, k0, k1, value uint32) (uint32, error) {
-	fr, ok := c.fronts[leaf]
-	if !ok {
+	if _, ok := c.fronts[leaf]; !ok {
 		return 0, fmt.Errorf("fabric: no cache frontend on leaf %d", leaf)
 	}
 	addr, ok := c.bucket(k0, k1)
@@ -177,46 +255,149 @@ func (c *CoherentCache) Put(leaf int, k0, k1, value uint32) (uint32, error) {
 		return 0, fmt.Errorf("fabric: cache has no capacity")
 	}
 	key := apps.KeyOf(k0, k1)
+	c.wgens[key]++ // suppress fills issued before this write
+	c.seq++
+	w := &pendingWrite{
+		leaf: leaf, k0: k0, k1: k1, addr: addr, value: value,
+		seq: c.seq, waiting: make(map[uint32]int),
+	}
+	c.writing[key] = w
+	c.pending[w.seq] = pendingOp{leaf: leaf, op: apps.KVPut, k0: k0, k1: k1}
 	for l := range c.dir[key] {
-		other, ok := c.fronts[l]
-		if !ok || l == leaf {
+		if l == leaf {
 			continue
 		}
-		// Sentinel write addressed to the stale leaf's frontend: executes at
-		// the writer's leaf (rewritten by the update just behind it), any
-		// transit spine replica, and the stale leaf itself.
-		if err := fr.cl.SendProgram("populate-fwd",
-			[4]uint32{InvalKey0, InvalKey1, addr, 0},
-			packet.FlagPreload, nil, other.cl.MAC()); err != nil {
-			return 0, err
+		if _, ok := c.fronts[l]; !ok {
+			continue
 		}
-		c.InvalSent++
-	}
-	if err := c.updateHome(fr, k0, k1, addr, value); err != nil {
-		return 0, err
-	}
-	c.seq++
-	msg := apps.KVMsg{Op: apps.KVPut, Key0: k0, Key1: k1, Value: value, Seq: c.seq}
-	payload := apps.BuildUDP(fr.ip, c.srvIP, 40000, apps.KVPort, msg.Encode())
-	c.pending[c.seq] = pendingOp{leaf: leaf, op: apps.KVPut, k0: k0, k1: k1}
-	if err := fr.cl.SendProgram("populate-fwd",
-		[4]uint32{k0, k1, addr, value},
-		packet.FlagPreload, payload, c.srvMAC); err != nil {
-		return 0, err
+		c.sendInval(w, l)
 	}
 	c.dir[key] = map[int]bool{leaf: true}
-	return c.seq, nil
+	if len(w.waiting) == 0 {
+		c.commit(w)
+	}
+	return w.seq, nil
+}
+
+// sendInval arms one hairpin invalidation toward a stale leaf.
+func (c *CoherentCache) sendInval(w *pendingWrite, leaf int) {
+	c.seq++
+	is := c.seq
+	w.waiting[is] = leaf
+	pi := &pendingInval{w: w, leaf: leaf}
+	c.invals[is] = pi
+	c.transmitInval(is, pi)
+}
+
+// transmitInval sends (or resends) one invalidation: a sentinel write from
+// the STALE leaf's own frontend addressed to that frontend's own MAC. The
+// capsule hairpins on the host link — executes at the stale leaf, returns
+// to the frontend — so its delivery acknowledges the eviction, and no
+// fabric fault can lose it. The KVInval payload carries the correlation
+// seq.
+func (c *CoherentCache) transmitInval(is uint32, pi *pendingInval) {
+	fr, ok := c.fronts[pi.leaf]
+	if !ok {
+		c.ackInval(is)
+		return
+	}
+	msg := apps.KVMsg{Op: apps.KVInval, Key0: pi.w.k0, Key1: pi.w.k1, Seq: is}
+	payload := apps.BuildUDP(fr.ip, fr.ip, 40000, 40000, msg.Encode())
+	_ = fr.cl.SendProgram("populate-fwd",
+		[4]uint32{InvalKey0, InvalKey1, pi.w.addr, 0},
+		packet.FlagPreload, payload, fr.cl.MAC())
+	c.InvalSent++
+	delay := c.InvalRetry * (1 << uint(minInt(pi.tries, 4)))
+	c.fc.F.Eng.Schedule(delay, func() { c.checkInval(is) })
+}
+
+// checkInval retransmits an invalidation still unacknowledged. Retries never
+// give up: committing with a copy possibly live would break the no-stale
+// invariant, and a frontend whose host link is dead cannot read either, so
+// blocking the write is safe.
+func (c *CoherentCache) checkInval(is uint32) {
+	pi, ok := c.invals[is]
+	if !ok {
+		return // acked
+	}
+	pi.tries++
+	c.InvalRetransmits++
+	c.transmitInval(is, pi)
+}
+
+// ackInval scores one invalidation delivery; the last ack releases the
+// commit.
+func (c *CoherentCache) ackInval(is uint32) {
+	pi, ok := c.invals[is]
+	if !ok {
+		return
+	}
+	delete(c.invals, is)
+	delete(pi.w.waiting, is)
+	if len(pi.w.waiting) == 0 && !pi.w.committed {
+		c.commit(pi.w)
+	}
+}
+
+// commit runs phase 2: home install plus server write-through, retransmitted
+// until the server's KVResp lands.
+func (c *CoherentCache) commit(w *pendingWrite) {
+	w.committed = true
+	c.transmitCommit(w)
+}
+
+func (c *CoherentCache) transmitCommit(w *pendingWrite) {
+	fr, ok := c.fronts[w.leaf]
+	if !ok {
+		return
+	}
+	_ = c.updateHome(fr, w.k0, w.k1, w.addr, w.value)
+	msg := apps.KVMsg{Op: apps.KVPut, Key0: w.k0, Key1: w.k1, Value: w.value, Seq: w.seq}
+	payload := apps.BuildUDP(fr.ip, c.srvIP, 40000, apps.KVPort, msg.Encode())
+	_ = fr.cl.SendProgram("populate-fwd",
+		[4]uint32{w.k0, w.k1, w.addr, w.value},
+		packet.FlagPreload, payload, c.srvMAC)
+	delay := c.CommitRetry * (1 << uint(minInt(w.commitTries, 4)))
+	c.fc.F.Eng.Schedule(delay, func() { c.checkCommit(w) })
+}
+
+// checkCommit retransmits a commit whose server ack has not arrived (the
+// capsule or its ack died on a faulted path). The server applies repeated
+// PUTs of the same value idempotently.
+func (c *CoherentCache) checkCommit(w *pendingWrite) {
+	if _, ok := c.pending[w.seq]; !ok {
+		return // acked
+	}
+	w.commitTries++
+	c.CommitRetransmits++
+	c.transmitCommit(w)
 }
 
 // updateHome installs a value at the home spine replica with a capsule
 // addressed to the home switch itself: it executes at the sender's leaf and
 // at the home, then terminates (the switch MAC resolves to no egress port).
 // This keeps the home current even when the sender sits on the server's own
-// leaf and the server-path capsule never crosses a spine.
+// leaf and the server-path capsule never crosses a spine. When the health
+// monitor says the sender's link to the home is dead — or the home is
+// drained, where an unacknowledged install could be lost with no reader to
+// notice until the drain lifts — the install is skipped and the key marked
+// home-stale instead; the recovery scrub (failover.go) zeroes it from the
+// home replica before routes cross the home again.
 func (c *CoherentCache) updateHome(fr *front, k0, k1, addr, value uint32) error {
+	if (c.health != nil && c.health.LinkDown(fr.leaf, c.home)) || c.fc.F.Drained(c.home) {
+		c.homeStale[apps.KeyOf(k0, k1)] = true
+		return nil
+	}
 	return fr.cl.SendProgram("populate-fwd",
 		[4]uint32{k0, k1, addr, value},
 		packet.FlagPreload, nil, c.Home().MAC)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Warm pre-populates objects from one leaf (each install writes the leaf
@@ -261,8 +442,16 @@ func (c *CoherentCache) handlerFor(fr *front) func(*client.Client, *packet.Frame
 			h := f.Active.Header
 			if h.Flags&packet.FlagRTS == 0 {
 				// A populate-fwd capsule that terminated here: an
-				// invalidation (or update echo) that traversed its path.
+				// invalidation (or update echo) that traversed its path. A
+				// KVInval payload correlates it to a pending write — its
+				// return completes the hairpin and acknowledges the
+				// eviction.
 				c.InvalDelivered++
+				if _, _, body, ok := apps.ParseUDP(f.Inner); ok {
+					if msg, ok := apps.DecodeKVMsg(body); ok && msg.Op == apps.KVInval {
+						c.ackInval(msg.Seq)
+					}
+				}
 				return
 			}
 			if h.Flags&packet.FlagPreload != 0 {
@@ -295,18 +484,70 @@ func (c *CoherentCache) handlerFor(fr *front) func(*client.Client, *packet.Frame
 		switch p.op {
 		case apps.KVGet:
 			c.Misses++
-			c.fill(fr, p.k0, p.k1, msg.Value)
+			// Install the miss-fetched value only if no write to the key
+			// started since this read was issued: a fill racing a write
+			// must not resurrect the value the write just killed.
+			key := apps.KeyOf(p.k0, p.k1)
+			if c.writing[key] == nil && p.wgen == c.wgens[key] {
+				c.fill(fr, p.k0, p.k1, msg.Value)
+			} else {
+				c.FillsSuppressed++
+			}
 			if c.OnResponse != nil {
 				c.OnResponse(fr.leaf, msg.Seq, msg.Value, false)
 			}
 		case apps.KVPut:
 			c.WriteAcks++
+			key := apps.KeyOf(p.k0, p.k1)
+			if w := c.writing[key]; w != nil && w.seq == msg.Seq {
+				delete(c.writing, key)
+				c.settleHome(p.leaf, p.k0, p.k1)
+			}
+			if c.OnWriteAck != nil {
+				c.OnWriteAck(p.leaf, msg.Seq, msg.Value)
+			}
 		}
 	}
 }
 
-// fill installs a miss-fetched value at the reading leaf (and the home
-// spine en route): the read-triggered re-fill of the coherence protocol.
+// settleHome decides, at a write's linearization point, whether the home
+// replica provably holds the write. The acknowledged commit capsule executed
+// at every device on its path — if that path crossed the home, the home is
+// current. If the path bypassed the home (rerouted around a sick link, or
+// the home was drained), nothing confirmable installed there, and whatever
+// the home holds for the key may predate this write — an unacknowledged
+// install from updateHome is not proof, since a lossy-but-not-yet-unhealthy
+// link eats capsules silently. In that case the key's bucket is evicted from
+// the home through the control plane: a forced miss the server refills,
+// never a stale hit. A crashed home controller cannot evict, so the key
+// stays marked home-stale and the recovery scrub (failover.go) covers it.
+func (c *CoherentCache) settleHome(leaf int, k0, k1 uint32) {
+	key := apps.KeyOf(k0, k1)
+	home := c.fc.F.Spines[c.home]
+	onPath := c.fc.F.CurrentSpineFor(leaf, c.srvMAC) == home &&
+		!(c.health != nil && c.health.LinkDown(leaf, c.home)) &&
+		!c.fc.F.Drained(c.home)
+	if onPath {
+		delete(c.homeStale, key)
+		return
+	}
+	if addr, ok := c.bucket(k0, k1); ok {
+		if _, ok := home.Ctrl.ScrubWord(c.set.FID, addr); ok {
+			delete(c.homeStale, key)
+			c.HomeEvictions++
+			return
+		}
+	}
+	c.homeStale[key] = true
+}
+
+// fill installs a miss-fetched value at the reading leaf: the read-triggered
+// re-fill of the coherence protocol. The install hairpins on the frontend's
+// own host link, so it is FIFO-ordered against this frontend's later
+// invalidations and never touches the home — the home is populated only by
+// commit traffic, whose installs the server ack confirms (settleHome). A
+// fill capsule crossing the fabric could land at the home after a
+// concurrent write finished and resurrect the value that write killed.
 func (c *CoherentCache) fill(fr *front, k0, k1, value uint32) {
 	addr, ok := c.bucket(k0, k1)
 	if !ok {
@@ -314,10 +555,9 @@ func (c *CoherentCache) fill(fr *front, k0, k1, value uint32) {
 	}
 	if err := fr.cl.SendProgram("populate-fwd",
 		[4]uint32{k0, k1, addr, value},
-		packet.FlagPreload, nil, c.srvMAC); err != nil {
+		packet.FlagPreload, nil, fr.cl.MAC()); err != nil {
 		return
 	}
-	_ = c.updateHome(fr, k0, k1, addr, value)
 	c.Fills++
 	c.recordCopy(apps.KeyOf(k0, k1), fr.leaf)
 }

@@ -18,6 +18,13 @@ const maxAskBlocks = 255
 // generous against the controller's compute and table-update costs.
 const admitDeadline = 5 * time.Second
 
+// replicaAskBlocks is the pinned per-access demand a replica-set member asks
+// for. Replica members are inelastic (see PlaceReplicas), so the demand must
+// be explicit; 16 blocks per access is a few thousand words of cache on the
+// default 256-word block — small against a device stage, so tenant admission
+// is not starved.
+const replicaAskBlocks = 16
+
 // Shard is one device's slice of a spilled tenant: its own FID (base+k for
 // the k-th engaged device), its own shim client, and the per-access block
 // grant it won on that device.
@@ -79,6 +86,12 @@ type Controller struct {
 	FailedPlacements uint64 // placements that could not place all demand
 	ReplicaMismatch  uint64 // replica admissions torn down for placement/epoch skew
 
+	// Failure-domain counters (also exported through AttachTelemetry).
+	LinkFlaps       uint64 // link down-transitions declared by the health monitor
+	DegradedEntries uint64 // coherent caches entering degraded (home-drained) mode
+	DegradedExits   uint64 // coherent caches leaving degraded mode
+	RePlacements    uint64 // orphaned placements re-placed on surviving devices
+
 	tel *fabricTelemetry
 }
 
@@ -107,46 +120,14 @@ func (c *Controller) PlaceTenant(baseFID uint16, leaf int, server packet.MAC, de
 		if remaining <= 0 {
 			break
 		}
-		ask := remaining
-		if ask > maxAskBlocks {
-			ask = maxAskBlocks
-		}
-		svc := newService()
-		svc.Elastic = false
-		failed := false
-		prevFailed := svc.OnFailed
-		svc.OnFailed = func(cl *client.Client) {
-			failed = true
-			if prevFailed != nil {
-				prevFailed(cl)
-			}
-		}
-		cl, err := c.F.AddClient(leaf, fid, node, svc)
+		sh, err := c.placeOn(node, leaf, fid, remaining, newService)
 		if err != nil {
 			return t, err
 		}
-		for ask >= 1 {
-			for i := range svc.Specs {
-				svc.Specs[i].Demand = ask
-			}
-			failed = false
-			if err := cl.RequestAllocation(); err != nil {
-				return t, err
-			}
-			limit := c.F.Eng.Now() + admitDeadline
-			for c.F.Eng.Now() < limit && !failed && cl.State() != client.Operational {
-				if c.F.Eng.Pending() == 0 {
-					break
-				}
-				c.F.Eng.Step()
-			}
-			if cl.Operational() {
-				t.Shards = append(t.Shards, &Shard{Node: node, Client: cl, FID: fid, Blocks: ask})
-				remaining -= ask
-				fid++
-				break
-			}
-			ask /= 2
+		if sh != nil {
+			t.Shards = append(t.Shards, sh)
+			remaining -= sh.Blocks
+			fid++
 		}
 	}
 	t.Unplaced = remaining
@@ -155,6 +136,189 @@ func (c *Controller) PlaceTenant(baseFID uint16, leaf int, server packet.MAC, de
 		return t, fmt.Errorf("fabric: tenant %d: no on-path device admitted any demand", baseFID)
 	}
 	return t, nil
+}
+
+// placeOn runs one device's admission loop: ask for up to `want` blocks per
+// access, halving the ask on rejection. Returns the won shard, or nil if
+// the device admitted nothing (a full pipeline is not an error — the demand
+// spills onward). Must be called from outside engine callbacks.
+func (c *Controller) placeOn(node *Node, leaf int, fid uint16, want int, newService func() *client.Service) (*Shard, error) {
+	ask := want
+	if ask > maxAskBlocks {
+		ask = maxAskBlocks
+	}
+	svc := newService()
+	svc.Elastic = false
+	failed := false
+	prevFailed := svc.OnFailed
+	svc.OnFailed = func(cl *client.Client) {
+		failed = true
+		if prevFailed != nil {
+			prevFailed(cl)
+		}
+	}
+	cl, err := c.F.AddClient(leaf, fid, node, svc)
+	if err != nil {
+		return nil, err
+	}
+	for ask >= 1 {
+		for i := range svc.Specs {
+			svc.Specs[i].Demand = ask
+		}
+		failed = false
+		if err := cl.RequestAllocation(); err != nil {
+			return nil, err
+		}
+		limit := c.F.Eng.Now() + admitDeadline
+		for c.F.Eng.Now() < limit && !failed && cl.State() != client.Operational {
+			if c.F.Eng.Pending() == 0 {
+				break
+			}
+			c.F.Eng.Step()
+		}
+		if cl.Operational() {
+			return &Shard{Node: node, Client: cl, FID: fid, Blocks: ask}, nil
+		}
+		ask /= 2
+	}
+	return nil, nil
+}
+
+// RetryUnplaced retries a tenant's unplaced remainder against its path —
+// capacity may have freed since the original placement (a released tenant,
+// a repaired device). Shards won are appended under the next free FIDs and
+// t.Unplaced is decremented by what they absorbed. Returns the blocks
+// placed. Must be called from outside engine callbacks.
+func (c *Controller) RetryUnplaced(t *Tenant, newService func() *client.Service) (int, error) {
+	if t.Unplaced <= 0 {
+		return 0, nil
+	}
+	fid := t.BaseFID + uint16(len(t.Shards))
+	placed := 0
+	for _, node := range t.Path {
+		if t.Unplaced <= 0 {
+			break
+		}
+		sh, err := c.placeOn(node, t.Leaf, fid, t.Unplaced, newService)
+		if err != nil {
+			return placed, err
+		}
+		if sh != nil {
+			t.Shards = append(t.Shards, sh)
+			t.Unplaced -= sh.Blocks
+			placed += sh.Blocks
+			fid++
+		}
+	}
+	if placed > 0 && c.tel != nil {
+		c.tel.recovered.Add(uint64(placed))
+	}
+	return placed, nil
+}
+
+// ReconcileTenant re-places a tenant's shards stranded on a dead device
+// onto the surviving devices of its path. The stranded clients are
+// abandoned (their device is unreachable; its allocator still carries the
+// grant and will resynchronize through the normal recovery path when the
+// device returns) and the stranded demand is re-admitted under fresh FIDs
+// on the path's other devices. Returns the blocks re-placed; demand no
+// survivor could hold lands back in t.Unplaced. Must be called from
+// outside engine callbacks.
+func (c *Controller) ReconcileTenant(t *Tenant, dead *Node, newService func() *client.Service) (int, error) {
+	var keep []*Shard
+	stranded := 0
+	maxFID := t.BaseFID
+	for _, sh := range t.Shards {
+		if sh.FID >= maxFID {
+			maxFID = sh.FID + 1
+		}
+		if sh.Node == dead {
+			stranded += sh.Blocks
+			continue
+		}
+		keep = append(keep, sh)
+	}
+	if stranded == 0 {
+		return 0, nil
+	}
+	t.Shards = keep
+	fid := maxFID
+	placed := 0
+	remaining := stranded
+	for _, node := range t.Path {
+		if remaining <= 0 {
+			break
+		}
+		if node == dead {
+			continue
+		}
+		sh, err := c.placeOn(node, t.Leaf, fid, remaining, newService)
+		if err != nil {
+			return placed, err
+		}
+		if sh != nil {
+			t.Shards = append(t.Shards, sh)
+			remaining -= sh.Blocks
+			placed += sh.Blocks
+			fid++
+		}
+	}
+	t.Unplaced += remaining
+	c.RePlacements++
+	if c.tel != nil {
+		c.tel.rePlacements.Inc()
+		if remaining > 0 {
+			c.tel.unplaced.Add(uint64(remaining))
+		}
+	}
+	return placed, nil
+}
+
+// ObserveFailures bridges the health monitor and routing layer into the
+// controller's failure-domain counters: link flaps declared, routes
+// repointed. Call once after NewHealth.
+func (c *Controller) ObserveFailures(h *Health) {
+	h.Subscribe(func(ev LinkEvent) {
+		if ev.Down {
+			c.LinkFlaps++
+			if c.tel != nil {
+				c.tel.linkFlaps.Inc()
+			}
+		}
+	})
+	prev := c.F.OnReroute
+	c.F.OnReroute = func(changed int) {
+		if c.tel != nil {
+			c.tel.reroutes.Add(uint64(changed))
+		}
+		if prev != nil {
+			prev(changed)
+		}
+	}
+}
+
+// noteDegraded records a coherent cache entering or leaving degraded mode.
+func (c *Controller) noteDegraded(entered bool) {
+	if entered {
+		c.DegradedEntries++
+		if c.tel != nil {
+			c.tel.degradedIn.Inc()
+		}
+		return
+	}
+	c.DegradedExits++
+	if c.tel != nil {
+		c.tel.degradedOut.Inc()
+	}
+}
+
+// noteReplacement records a replica-set repair (re-placement under a fresh
+// FID).
+func (c *Controller) noteReplacement() {
+	c.RePlacements++
+	if c.tel != nil {
+		c.tel.rePlacements.Inc()
+	}
 }
 
 // recordPlacement updates the spill/stretch accounting for one placement.
@@ -188,13 +352,53 @@ func (c *Controller) PlaceReplicas(fid uint16, leaves []int, server packet.MAC, 
 	}
 	home := c.F.SpineFor(server)
 	set := &ReplicaSet{FID: fid}
+	// Replica members must be PINNED: the set's validity rests on every
+	// member sharing one placement, and an elastic member any single device
+	// may independently shrink or relocate under tenant pressure would
+	// silently break that alignment — capsules would then address the wrong
+	// buckets on the moved member until a repair notices. Pinning means an
+	// explicit demand: the first member may halve its ask to fit, but every
+	// later member must admit at the set's exact ask or the placements
+	// cannot match.
+	ask := replicaAskBlocks
 	admit := func(leaf int, node *Node) error {
-		cl, err := c.F.AddClient(leaf, fid, node, newService())
+		svc := newService()
+		svc.Elastic = false
+		failed := false
+		prevFailed := svc.OnFailed
+		svc.OnFailed = func(cl *client.Client) {
+			failed = true
+			if prevFailed != nil {
+				prevFailed(cl)
+			}
+		}
+		cl, err := c.F.AddClient(leaf, fid, node, svc)
 		if err != nil {
 			return err
 		}
-		if err := c.F.WaitOperationalAfterRequest(cl, admitDeadline); err != nil {
-			return fmt.Errorf("fabric: replica on %s: %w", node.Name, err)
+		for {
+			for i := range svc.Specs {
+				svc.Specs[i].Demand = ask
+			}
+			failed = false
+			if err := cl.RequestAllocation(); err != nil {
+				return fmt.Errorf("fabric: replica on %s: %w", node.Name, err)
+			}
+			limit := c.F.Eng.Now() + admitDeadline
+			for c.F.Eng.Now() < limit && !failed && cl.State() != client.Operational {
+				if c.F.Eng.Pending() == 0 {
+					break
+				}
+				c.F.Eng.Step()
+			}
+			if cl.Operational() {
+				break
+			}
+			if len(set.Members) > 0 || ask <= 1 {
+				return fmt.Errorf("fabric: replica on %s: no capacity for %d pinned blocks (state %v)",
+					node.Name, ask, cl.State())
+			}
+			ask /= 2
 		}
 		set.Members = append(set.Members, &Replica{Node: node, Leaf: leaf, Client: cl})
 		return nil
@@ -274,6 +478,14 @@ type fabricTelemetry struct {
 	mismatch  *telemetry.Counter
 	unplaced  *telemetry.Counter
 	stretch   *telemetry.Histogram
+
+	// Failure-domain metrics.
+	linkFlaps    *telemetry.Counter
+	reroutes     *telemetry.Counter
+	degradedIn   *telemetry.Counter
+	degradedOut  *telemetry.Counter
+	rePlacements *telemetry.Counter
+	recovered    *telemetry.Counter
 }
 
 // AttachTelemetry registers fabric-level metrics on the registry: per-switch
@@ -297,6 +509,18 @@ func (c *Controller) AttachTelemetry(reg *telemetry.Registry) {
 			"demand blocks no on-path device could hold"),
 		stretch: reg.NewHistogram("activermt_fabric_path_stretch_devices",
 			"devices engaged per tenant placement (1 = no stretch)"),
+		linkFlaps: reg.NewCounter("activermt_fabric_link_flaps_total",
+			"leaf-spine link down-transitions declared by the health monitor"),
+		reroutes: reg.NewCounter("activermt_fabric_reroutes_total",
+			"spine-hashed routes repointed around dead links or drained spines"),
+		degradedIn: reg.NewCounter("activermt_fabric_cache_degraded_entries_total",
+			"coherent caches entering degraded (home-drained) mode"),
+		degradedOut: reg.NewCounter("activermt_fabric_cache_degraded_exits_total",
+			"coherent caches leaving degraded mode after home resync"),
+		rePlacements: reg.NewCounter("activermt_fabric_replacements_total",
+			"orphaned placements re-placed on surviving devices"),
+		recovered: reg.NewCounter("activermt_fabric_placement_recovered_blocks_total",
+			"previously unplaced demand blocks placed by a later retry"),
 	}
 	c.tel = t
 	c.RefreshTelemetry()

@@ -30,9 +30,11 @@
 package fabric
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"net/netip"
+	"sort"
 	"time"
 
 	"activermt/internal/alloc"
@@ -137,6 +139,23 @@ type Fabric struct {
 	cfg      Config
 	hostLeaf map[packet.MAC]int // host MAC -> leaf index
 	nextHost int
+
+	// linkDown[leaf][spine] marks a leaf<->spine link the routing layer must
+	// avoid (set by the health monitor on detection, not by the physical
+	// port state — detection lag is part of the model). drained[spine] marks
+	// a spine all host-bound routes should avoid even where its links are
+	// up (the coherent cache drains a stale home). route records the spine
+	// each leaf currently uses per remote destination, so recomputation can
+	// count actual repoints.
+	linkDown [][]bool
+	drained  []bool
+	route    []map[packet.MAC]int
+
+	// Reroutes counts route repoints performed by recomputeRoutes.
+	Reroutes uint64
+	// OnReroute, when set, observes each batch of route repoints (the
+	// fabric controller bridges it to telemetry).
+	OnReroute func(changed int)
 }
 
 // New builds the fabric: every switch assembled like the single-switch
@@ -150,6 +169,11 @@ func New(cfg Config) (*Fabric, error) {
 		Eng:      netsim.NewEngine(),
 		cfg:      cfg,
 		hostLeaf: make(map[packet.MAC]int),
+		drained:  make([]bool, cfg.Spines),
+	}
+	for i := 0; i < cfg.Leaves; i++ {
+		f.linkDown = append(f.linkDown, make([]bool, cfg.Spines))
+		f.route = append(f.route, make(map[packet.MAC]int))
 	}
 	build := func(leaf bool, idx int) (*Node, error) {
 		rt, err := runtime.New(cfg.RMT)
@@ -227,7 +251,9 @@ func New(cfg Config) (*Fabric, error) {
 			if i == k {
 				continue
 			}
-			l.Switch.AddRoute(other.MAC, l.up[f.spineForMAC(other.MAC)])
+			spine := f.spineForMAC(other.MAC)
+			l.Switch.AddRoute(other.MAC, l.up[spine])
+			f.route[i][other.MAC] = spine
 		}
 	}
 	return f, nil
@@ -252,8 +278,156 @@ func (f *Fabric) spineForMAC(mac packet.MAC) int {
 	return int(h.Sum32() % uint32(len(f.Spines)))
 }
 
-// SpineFor returns the spine node that carries traffic toward dst.
+// SpineFor returns the spine node that nominally carries traffic toward dst
+// (the hash choice, ignoring link state).
 func (f *Fabric) SpineFor(dst packet.MAC) *Node { return f.Spines[f.spineForMAC(dst)] }
+
+// chooseSpine picks the spine a frame from srcLeaf to dstLeaf should cross:
+// the nominal hash spine when healthy, otherwise the first spine (in
+// deterministic rotation order from the nominal one) whose links to both
+// leaves are up and that is not drained. Connectivity beats drain: if only
+// drained spines remain reachable, one of them is used. With no live path at
+// all the nominal spine is kept — the frames will drop, which is the honest
+// outcome of a partition.
+func (f *Fabric) chooseSpine(srcLeaf, dstLeaf, nominal int) int {
+	m := len(f.Spines)
+	for k := 0; k < m; k++ {
+		j := (nominal + k) % m
+		if f.linkDown[srcLeaf][j] || f.linkDown[dstLeaf][j] || f.drained[j] {
+			continue
+		}
+		return j
+	}
+	for k := 0; k < m; k++ {
+		j := (nominal + k) % m
+		if f.linkDown[srcLeaf][j] || f.linkDown[dstLeaf][j] {
+			continue
+		}
+		return j
+	}
+	return nominal
+}
+
+// CurrentSpineFor returns the spine traffic from srcLeaf toward dst actually
+// crosses under the current link state (nil for same-leaf destinations).
+func (f *Fabric) CurrentSpineFor(srcLeaf int, dst packet.MAC) *Node {
+	dstLeaf, ok := f.hostLeaf[dst]
+	if !ok || dstLeaf == srcLeaf {
+		return nil
+	}
+	return f.Spines[f.chooseSpine(srcLeaf, dstLeaf, f.spineForMAC(dst))]
+}
+
+// LinkUp reports whether the routing layer considers the leaf<->spine link
+// usable (health-monitor verdict, not physical port state).
+func (f *Fabric) LinkUp(leaf, spine int) bool { return !f.linkDown[leaf][spine] }
+
+// SetLinkState marks one leaf<->spine link down or up for routing and
+// repoints every affected route. The health monitor drives this from its
+// probe verdicts; tests may drive it directly.
+func (f *Fabric) SetLinkState(leaf, spine int, down bool) {
+	if leaf < 0 || leaf >= len(f.Leaves) || spine < 0 || spine >= len(f.Spines) {
+		return
+	}
+	if f.linkDown[leaf][spine] == down {
+		return
+	}
+	f.linkDown[leaf][spine] = down
+	f.recomputeRoutes()
+}
+
+// SetSpineDrain marks a spine to be avoided by all host-bound routes even
+// where its links are up. The coherent cache drains a home spine whose
+// replica can no longer be kept current, so no reader crosses stale state.
+func (f *Fabric) SetSpineDrain(spine int, on bool) {
+	if spine < 0 || spine >= len(f.Spines) || f.drained[spine] == on {
+		return
+	}
+	f.drained[spine] = on
+	f.recomputeRoutes()
+}
+
+// Drained reports whether a spine is currently drained.
+func (f *Fabric) Drained(spine int) bool { return f.drained[spine] }
+
+// recomputeRoutes re-resolves the spine choice of every leaf's remote
+// destinations (host MACs and remote leaf switch MACs) against the current
+// link-down/drain state, repointing only the routes that changed. Iteration
+// order is deterministic (sorted MACs), so a replay reroutes identically.
+func (f *Fabric) recomputeRoutes() {
+	dsts := make([]packet.MAC, 0, len(f.hostLeaf)+len(f.Leaves))
+	for mac := range f.hostLeaf {
+		dsts = append(dsts, mac)
+	}
+	sort.Slice(dsts, func(a, b int) bool {
+		return bytes.Compare(dsts[a][:], dsts[b][:]) < 0
+	})
+	for _, l := range f.Leaves {
+		dsts = append(dsts, l.MAC)
+	}
+	changed := 0
+	for i, l := range f.Leaves {
+		for _, mac := range dsts {
+			dstLeaf, ok := f.hostLeaf[mac]
+			if !ok {
+				// A leaf switch MAC: its "leaf" is itself.
+				for k, other := range f.Leaves {
+					if other.MAC == mac {
+						dstLeaf = k
+						break
+					}
+				}
+			}
+			if dstLeaf == i {
+				continue // local delivery, never via a spine
+			}
+			j := f.chooseSpine(i, dstLeaf, f.spineForMAC(mac))
+			if cur, ok := f.route[i][mac]; ok && cur == j {
+				continue
+			}
+			l.Switch.AddRoute(mac, l.up[j])
+			f.route[i][mac] = j
+			changed++
+		}
+	}
+	if changed > 0 {
+		f.Reroutes += uint64(changed)
+		if f.OnReroute != nil {
+			f.OnReroute(changed)
+		}
+	}
+}
+
+// UplinkPort returns the leaf-side port of the leaf<->spine link (the
+// injection point for link-level chaos on that link).
+func (f *Fabric) UplinkPort(leaf, spine int) (*netsim.Port, error) {
+	if leaf < 0 || leaf >= len(f.Leaves) || spine < 0 || spine >= len(f.Spines) {
+		return nil, fmt.Errorf("fabric: link %d-%d out of range", leaf, spine)
+	}
+	l := f.Leaves[leaf]
+	p, ok := l.Switch.Port(l.up[spine])
+	if !ok {
+		return nil, fmt.Errorf("fabric: leaf %d has no uplink port to spine %d", leaf, spine)
+	}
+	return p, nil
+}
+
+// SpinePorts returns every spine-side fabric port of one spine — downing
+// them all (chaos.Partition) kills the spine's connectivity in both
+// directions, the fabric's "spine kill".
+func (f *Fabric) SpinePorts(spine int) []*netsim.Port {
+	if spine < 0 || spine >= len(f.Spines) {
+		return nil
+	}
+	s := f.Spines[spine]
+	out := make([]*netsim.Port, 0, len(s.down))
+	for i := 0; i < len(f.Leaves); i++ {
+		if p, ok := s.Switch.Port(s.down[i]); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 // AttachHost connects an endpoint to a leaf and installs routes for its MAC
 // fabric-wide (local leaf direct, spines via their downlink, remote leaves
@@ -267,10 +441,12 @@ func (f *Fabric) AttachHost(leaf int, ep netsim.Endpoint, mac packet.MAC) (*nets
 	l.nextPort++
 	swPort, epPort := netsim.Connect(f.Eng, l.Switch, pnum, ep, 0, f.cfg.HostLinkDelay, f.cfg.LinkBW)
 	l.Switch.AddPort(swPort, mac)
-	spine := f.spineForMAC(mac)
+	nominal := f.spineForMAC(mac)
 	for i, other := range f.Leaves {
 		if i != leaf {
+			spine := f.chooseSpine(i, leaf, nominal)
 			other.Switch.AddRoute(mac, other.up[spine])
+			f.route[i][mac] = spine
 		}
 	}
 	for _, s := range f.Spines {
@@ -309,10 +485,22 @@ func (f *Fabric) PathBetween(srcLeaf int, dst packet.MAC) ([]*Node, error) {
 	return []*Node{f.Leaves[srcLeaf], f.SpineFor(dst), f.Leaves[dstLeaf]}, nil
 }
 
+// Fabric control-frame retry policy: a relayed control frame crosses up to
+// three switches and two fabric links, any of which chaos can drop — without
+// retries one lost frame wedges a placement handshake forever. The defaults
+// reuse the single-switch policy (backoff x2 with +/-10% jitter, capped at
+// 16x, realloc-window escape); callers can override the fields after
+// AddClient returns.
+const (
+	DefaultRetryAfter     = 50 * time.Millisecond
+	DefaultReallocTimeout = 500 * time.Millisecond
+)
+
 // AddClient builds a shim client on a leaf that negotiates with the given
 // fabric switch (its own leaf, a spine, or a remote leaf — control frames
 // transit the fabric either way). The client's pipeline view matches the
-// homogeneous switch configuration.
+// homogeneous switch configuration, and the fabric retry policy is armed so
+// control frames lost in transit are retransmitted.
 func (f *Fabric) AddClient(leaf int, fid uint16, target *Node, svc *client.Service) (*client.Client, error) {
 	mac, _ := f.NewHostID()
 	cl := client.New(f.Eng, fid, mac, target.MAC, svc)
@@ -321,6 +509,8 @@ func (f *Fabric) AddClient(leaf int, fid uint16, target *Node, svc *client.Servi
 		NumIngress: f.cfg.RMT.NumIngress,
 		MaxPasses:  f.cfg.Alloc.MaxPasses,
 	}
+	cl.RetryAfter = DefaultRetryAfter
+	cl.ReallocTimeout = DefaultReallocTimeout
 	p, err := f.AttachHost(leaf, cl, mac)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,139 @@
+package fabric_test
+
+import (
+	"testing"
+	"time"
+
+	"activermt/internal/chaos"
+	"activermt/internal/fabric"
+)
+
+// TestHealthDetectsOutageAndReroutes kills one leaf<->spine link and checks
+// the monitor's full arc: probes miss, the link is declared dead within the
+// detection deadline, the affected routes repoint to the surviving spine,
+// and on revert the link is declared alive and the routes restore.
+func TestHealthDetectsOutageAndReroutes(t *testing.T) {
+	f, err := fabric.New(fabric.DefaultConfig(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A destination host on leaf 2 gives leaf 0 a spine-hashed route to
+	// watch.
+	_, _ = addServer(t, f, 2)
+	h := fabric.NewHealth(f)
+	var events []fabric.LinkEvent
+	h.Subscribe(func(ev fabric.LinkEvent) { events = append(events, ev) })
+	h.Start()
+
+	// Let a few probe rounds establish the baseline: all links answer.
+	f.RunFor(50 * time.Millisecond)
+	if h.ProbesSent == 0 {
+		t.Fatal("no probes sent")
+	}
+	if h.FlapsObserved != 0 {
+		t.Fatalf("healthy fabric declared %d flaps", h.FlapsObserved)
+	}
+
+	// Kill leaf0<->spine0.
+	link, err := f.UplinkPort(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := chaos.LinkOutage{Link: link}
+	out.Apply(nil)
+
+	deadline := time.Duration(h.MissThreshold+2) * h.ProbeInterval
+	runUntil(t, f, deadline+50*time.Millisecond, "link declared down", func() bool {
+		return h.LinkDown(0, 0)
+	})
+	if len(events) == 0 || !events[0].Down || events[0].Leaf != 0 || events[0].Spine != 0 {
+		t.Fatalf("unexpected first event: %+v", events)
+	}
+	if f.LinkUp(0, 0) {
+		t.Fatal("fabric routing still trusts the dead link")
+	}
+	if f.Reroutes == 0 {
+		t.Fatal("no routes repointed after link death")
+	}
+	// Every destination leaf 0 can still reach must now avoid spine 0.
+	for _, l := range f.Leaves {
+		if l.Index == 0 {
+			continue
+		}
+		if sp := f.CurrentSpineFor(0, l.MAC); sp != nil && sp.Index == 0 {
+			t.Fatalf("leaf0 route to %s still crosses dead spine 0", l.Name)
+		}
+	}
+
+	// Revert: the next answered probe declares the link alive, and the
+	// routes restore after the sync window.
+	out.Revert(nil)
+	runUntil(t, f, 100*time.Millisecond, "link declared up", func() bool {
+		return !h.LinkDown(0, 0)
+	})
+	f.RunFor(h.RestoreDelay + time.Millisecond)
+	if !f.LinkUp(0, 0) {
+		t.Fatal("routing state not restored after recovery")
+	}
+	if h.Recoveries == 0 {
+		t.Fatal("recovery not counted")
+	}
+	h.Stop()
+}
+
+// TestHealthSurvivesCrashedController pins the failure-domain split: a
+// crashed spine CONTROLLER must not read as a dead link — probes are
+// answered by the data plane.
+func TestHealthSurvivesCrashedController(t *testing.T) {
+	f, err := fabric.New(fabric.DefaultConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fabric.NewHealth(f)
+	h.Start()
+	f.Spines[0].Ctrl.Crash()
+	f.RunFor(time.Duration(h.MissThreshold+3) * h.ProbeInterval)
+	if h.LinkDown(0, 0) || h.LinkDown(1, 0) {
+		t.Fatal("crashed controller misread as dead link")
+	}
+	if h.FlapsObserved != 0 {
+		t.Fatalf("declared %d flaps with all links up", h.FlapsObserved)
+	}
+	f.Spines[0].Ctrl.Restart()
+	h.Stop()
+}
+
+// TestHealthLinkFlap drives the flap injector against the monitor: the link
+// must be declared dead at least once, recover after the flapping stops, and
+// the fabric's routing state must end consistent (link trusted again).
+func TestHealthLinkFlap(t *testing.T) {
+	f, err := fabric.New(fabric.DefaultConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fabric.NewHealth(f)
+	h.Start()
+	link, err := f.UplinkPort(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &chaos.System{Eng: f.Eng}
+	flap := &chaos.LinkFlap{Link: link, Period: 80 * time.Millisecond, Flaps: 4}
+	flap.Apply(sys)
+	f.RunFor(600 * time.Millisecond)
+	flap.Revert(sys)
+	if link.DownTransitions() < 4 {
+		t.Fatalf("flap injector produced %d down transitions, want >= 4", link.DownTransitions())
+	}
+	if h.FlapsObserved == 0 {
+		t.Fatal("monitor observed no flaps")
+	}
+	runUntil(t, f, 200*time.Millisecond, "link stabilizes up", func() bool {
+		return !h.LinkDown(0, 1)
+	})
+	f.RunFor(h.RestoreDelay + time.Millisecond)
+	if !f.LinkUp(0, 1) {
+		t.Fatal("routing did not restore after flapping stopped")
+	}
+	h.Stop()
+}

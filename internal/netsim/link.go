@@ -107,6 +107,10 @@ func (p *Port) SetDown(down bool) {
 // Down reports whether the port is administratively down.
 func (p *Port) Down() bool { return p.down }
 
+// DownTransitions returns how many times the port has gone down — the flap
+// count a link-flap injector or a health monitor can audit against.
+func (p *Port) DownTransitions() uint64 { return p.downGen }
+
 // Send transmits a frame toward the peer endpoint. The frame slice is owned
 // by the receiver after the call.
 func (p *Port) Send(frame []byte) {

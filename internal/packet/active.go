@@ -66,6 +66,12 @@ const (
 	// evicts a tenant for repeated isolation violations; the client must
 	// drop its placement and renegotiate from Idle.
 	FlagEvicted uint16 = 1 << 12
+	// FlagProbe marks a link-health probe control frame. A switch answers a
+	// probe addressed to its own MAC purely in the data plane (echo out the
+	// ingress port with FlagFromSwch set), so link liveness is observable
+	// even while the target's control plane is crashed. The probe's Opaque
+	// word carries the prober's correlation token, echoed untouched.
+	FlagProbe uint16 = 1 << 13
 
 	typeMask uint16 = 0x3
 )

@@ -1,0 +1,209 @@
+package soak
+
+import (
+	"time"
+
+	"activermt/internal/apps"
+	"activermt/internal/chaos"
+	"activermt/internal/fabric"
+	"activermt/internal/netsim"
+)
+
+// The seeded chaos schedule. Every ChaosEvery interval the driver installs
+// one scenario from the library against a randomly drawn target — a fabric
+// uplink for the link faults, a whole spine for partitions, a switch
+// controller for crash/restart, a stage's SRAM for corruption. Targets are
+// drawn from the run PRNG, so a seed fully determines the fault history.
+//
+// One scoping rule keeps the oracle honest: memory corruption is never
+// aimed at a device holding coherent-cache state (the replica leaves and
+// the home spine). Corrupted cache words are indistinguishable from a
+// coherence bug to the staleness oracle, and the sweep-and-repair pass that
+// accompanies the corruption is exercised just as well on a device holding
+// only tenant shards.
+
+// scenarioNames is the rotation the background scheduler draws from.
+var scenarioNames = []string{
+	"flaky-link", "flapping-port", "link-outage", "link-flap",
+	"partition", "switch-outage", "corrupted-memory",
+}
+
+func (h *harness) maybeChaos() {
+	if h.cfg.ChaosEvery < 0 {
+		return
+	}
+	now := h.f.Eng.Now()
+	if now < h.nextChaos {
+		return
+	}
+	h.nextChaos = now + h.cfg.ChaosEvery
+	name := scenarioNames[h.rng.Intn(len(scenarioNames))]
+	seed := h.rng.Int63()
+	var (
+		sc  *chaos.Scenario
+		sys = &chaos.System{Eng: h.f.Eng, Tel: h.tel}
+		err error
+	)
+	switch name {
+	case "flaky-link", "flapping-port", "link-outage", "link-flap":
+		sc, err = chaos.Build(name, h.randomUplinks(2), seed)
+	case "partition":
+		spine := h.rng.Intn(h.cfg.Spines)
+		sc = chaos.PartitionScenario(h.f.SpinePorts(spine), 100*time.Millisecond, 500*time.Millisecond, seed)
+		name = name + nodeSuffix(h.f.Spines[spine])
+	case "switch-outage":
+		n := h.randomNode()
+		sc = chaos.SwitchOutage(n.Name, n.Ctrl, 50*time.Millisecond, 400*time.Millisecond, seed)
+		name = name + ":" + n.Name
+	case "corrupted-memory":
+		n := h.corruptibleNode()
+		if n == nil {
+			return
+		}
+		stage := h.rng.Intn(n.RT.Device().NumStages())
+		sc = chaos.CorruptedMemory(stage, 24, 100*time.Millisecond, 400*time.Millisecond, seed)
+		sys = &chaos.System{Eng: h.f.Eng, Switch: n.Switch, Ctrl: n.Ctrl, RT: n.RT, Guard: n.Guard, Tel: h.tel}
+		name = name + ":" + n.Name
+	}
+	if err != nil || sc == nil {
+		return
+	}
+	if err := sc.Install(sys); err != nil {
+		return
+	}
+	h.res.ChaosInstalled++
+	h.ring.note(now, "chaos installed: %s (seed %d)", name, seed)
+}
+
+// randomUplinks draws up to n distinct leaf<->spine uplink ports.
+func (h *harness) randomUplinks(n int) []*netsim.Port {
+	seen := make(map[[2]int]bool)
+	var out []*netsim.Port
+	for try := 0; try < 4*n && len(out) < n; try++ {
+		l, s := h.rng.Intn(h.cfg.Leaves), h.rng.Intn(h.cfg.Spines)
+		if seen[[2]int{l, s}] {
+			continue
+		}
+		seen[[2]int{l, s}] = true
+		if p, err := h.f.UplinkPort(l, s); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func nodeSuffix(n *fabric.Node) string { return ":" + n.Name }
+
+func (h *harness) randomNode() *fabric.Node {
+	nodes := h.f.Nodes()
+	return nodes[h.rng.Intn(len(nodes))]
+}
+
+// corruptibleNode picks a device that holds no coherent-cache state: any
+// spine except the home, or the server leaf when it hosts no frontend.
+func (h *harness) corruptibleNode() *fabric.Node {
+	home := h.cc.Home().Index
+	var cands []*fabric.Node
+	for i, s := range h.f.Spines {
+		if i != home {
+			cands = append(cands, s)
+		}
+	}
+	for i, l := range h.f.Leaves {
+		if i >= 2 { // frontends sit on leaves 0 and 1
+			cands = append(cands, l)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[h.rng.Intn(len(cands))]
+}
+
+// maybeSpineKill fires the milestone: partition the cache's HOME spine and
+// crash its controller mid-soak. This is the run's hardest event — the only
+// replica with unacknowledged installs goes dark along with its control
+// plane — and the recovery arc (detect, drain, degrade, reroute, reconcile,
+// scrub, undrain) is verified by observeKillProgress.
+func (h *harness) maybeSpineKill() {
+	if h.killed || h.cfg.SpineKillAt < 0 || h.f.Eng.Now() < h.cfg.SpineKillAt {
+		return
+	}
+	h.killed = true
+	home := h.cc.Home().Index
+	node := h.f.Spines[home]
+	part := chaos.Partition{Ports: h.f.SpinePorts(home)}
+	sc := chaos.NewScenario("spine-kill:"+node.Name, h.cfg.Seed)
+	sc.Apply(0, part)
+	sc.At(10*time.Millisecond, "crash:"+node.Name, func(*chaos.System) { node.Ctrl.Crash() })
+	sc.At(h.cfg.SpineKillFor, "restart:"+node.Name, func(*chaos.System) { node.Ctrl.Restart() })
+	sc.Revert(h.cfg.SpineKillFor, part)
+	if err := sc.Install(&chaos.System{Eng: h.f.Eng, Tel: h.tel}); err != nil {
+		return
+	}
+	h.res.SpineKill.Fired = true
+	h.res.ChaosInstalled++
+	h.ring.note(h.f.Eng.Now(), "spine-kill fired against %s for %v", node.Name, h.cfg.SpineKillFor)
+}
+
+// observeKillProgress samples the recovery arc at epoch boundaries.
+func (h *harness) observeKillProgress() {
+	if !h.res.SpineKill.Fired {
+		return
+	}
+	k := &h.res.SpineKill
+	if h.cc.Degraded() {
+		k.Degraded = true
+	}
+	if h.res.Reroutes > 0 {
+		k.Rerouted = true
+	}
+	home := h.cc.Home().Index
+	if k.Degraded && !h.cc.Degraded() && !h.f.Drained(home) {
+		k.Recovered = true
+	}
+}
+
+// reconcileDeadSpines is the orphan detector: a spine whose every
+// leaf-facing link the health monitor has declared dead is unreachable, and
+// tenants with shards on it are running blind. Each such tenant is
+// reconciled — stranded demand re-placed on surviving path devices, the
+// stranded shards remembered for release after the spine returns.
+func (h *harness) reconcileDeadSpines() {
+	for s := range h.f.Spines {
+		if !h.spineDead(s) {
+			continue
+		}
+		dead := h.f.Spines[s]
+		for _, lt := range h.tenants {
+			var stranded []*fabric.Shard
+			for _, sh := range lt.t.Shards {
+				if sh.Node == dead {
+					stranded = append(stranded, sh)
+				}
+			}
+			if len(stranded) == 0 {
+				continue
+			}
+			if _, err := h.fc.ReconcileTenant(lt.t, dead, apps.CoherentCacheService); err != nil {
+				continue
+			}
+			lt.orphans = append(lt.orphans, stranded...)
+			h.res.Reconciles++
+			if h.res.SpineKill.Fired {
+				h.res.SpineKill.Reconciled++
+			}
+			h.ring.note(h.f.Eng.Now(), "reconciled tenant fid %d off dead %s (%d shards stranded)",
+				lt.t.BaseFID, dead.Name, len(stranded))
+		}
+	}
+}
+
+func (h *harness) spineDead(s int) bool {
+	for l := 0; l < h.cfg.Leaves; l++ {
+		if !h.hm.LinkDown(l, s) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,389 @@
+// Package soak is the long-horizon invariant harness: it assembles a full
+// leaf-spine fabric (internal/fabric) with a coherent cache, a key-value
+// server, link-health monitoring, and a churning tenant population, then
+// runs hours of virtual time under a seeded chaos schedule while checking
+// the system's safety invariants after every virtual epoch:
+//
+//   - No stale read. Every write's acknowledged value becomes the key's
+//     floor; a read issued after the ack that returns an older value is a
+//     coherence violation, no matter which replica served it.
+//   - Isolation audit clean. guard.AuditRuntime on every switch must report
+//     no orphan regions, overlaps, or translation escapes.
+//   - No allocation leak. alloc.AuditBooks on every switch: thousands of
+//     admit/release cycles must never bleed blocks.
+//   - Bounded tail latency. The p99 of completed reads, computed from the
+//     telemetry registry's histogram, must stay under a configured bound —
+//     chaos may LOSE reads (they are counted, not latency-sampled) but must
+//     not silently stretch the ones that complete.
+//
+// The harness drives the simulation from a plain loop — never from inside
+// engine callbacks — because placement, repair, and reconciliation run the
+// engine internally. On the first violation it stops and attaches a
+// flight-recorder dump (the most recent fault injections, link transitions,
+// and recovery actions) so the failure is diagnosable from the report
+// alone. A mid-soak "spine kill" milestone partitions the cache's home
+// spine and crashes its controller, then verifies the fleet detected it,
+// rerouted, served degraded, re-placed orphaned tenants, and recovered.
+package soak
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"activermt/internal/apps"
+	"activermt/internal/chaos"
+	"activermt/internal/fabric"
+	"activermt/internal/guard"
+	"activermt/internal/telemetry"
+)
+
+// Config parameterizes one soak run. Zero values take the defaults noted on
+// each field; the zero Config is a valid one-minute smoke soak.
+type Config struct {
+	Leaves int // default 3 (cache replicas on leaves 0 and 1)
+	Spines int // default 2
+
+	Duration time.Duration // virtual run length (default 1m)
+	Epoch    time.Duration // invariant-check interval (default 1s)
+	Seed     int64         // chaos + workload PRNG seed
+
+	Keys      int     // hot keyspace size (default 24)
+	ReadRate  float64 // cache reads per virtual second (default 200)
+	WriteRate float64 // cache writes per virtual second (default 20)
+
+	TenantRate      float64       // tenant arrivals per virtual second (default 1)
+	TenantLife      time.Duration // mean tenant lifetime (default 20s)
+	TenantDemandMin int           // blocks per access, lower bound (default 20)
+	TenantDemandMax int           // blocks per access, upper bound (default 120)
+
+	ChaosEvery   time.Duration // background scenario cadence (default 5s; <0 disables)
+	SpineKillAt  time.Duration // home-spine kill milestone (default Duration/2; <0 disables)
+	SpineKillFor time.Duration // kill duration (default 2s)
+
+	ReadTimeout time.Duration // reads older than this count as lost (default 1s)
+	P99Bound    time.Duration // read-latency p99 ceiling (default 10ms)
+
+	CSV      io.Writer                        // optional per-epoch CSV rows
+	Progress func(format string, args ...any) // optional progress sink
+}
+
+func (cfg Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	defD := func(v *time.Duration, d time.Duration) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	defF := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&cfg.Leaves, 3)
+	def(&cfg.Spines, 2)
+	defD(&cfg.Duration, time.Minute)
+	defD(&cfg.Epoch, time.Second)
+	def(&cfg.Keys, 24)
+	defF(&cfg.ReadRate, 200)
+	defF(&cfg.WriteRate, 20)
+	defF(&cfg.TenantRate, 1)
+	defD(&cfg.TenantLife, 20*time.Second)
+	def(&cfg.TenantDemandMin, 20)
+	def(&cfg.TenantDemandMax, 120)
+	defD(&cfg.ChaosEvery, 5*time.Second)
+	defD(&cfg.SpineKillAt, cfg.Duration/2)
+	defD(&cfg.SpineKillFor, 2*time.Second)
+	defD(&cfg.ReadTimeout, time.Second)
+	defD(&cfg.P99Bound, 10*time.Millisecond)
+	if cfg.Progress == nil {
+		cfg.Progress = func(string, ...any) {}
+	}
+	return cfg
+}
+
+// Violation is one invariant breach, with the flight-recorder context
+// captured at detection time.
+type Violation struct {
+	At     time.Duration // virtual time
+	Epoch  int
+	Kind   string // "stale-read" | "guard-audit" | "alloc-books" | "latency-p99"
+	Detail string
+	Trace  []string // recent fault/recovery events, oldest first
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[epoch %d @%v] %s: %s", v.Epoch, v.At, v.Kind, v.Detail)
+}
+
+// SpineKillReport records what the mid-soak home-spine kill exercised.
+type SpineKillReport struct {
+	Fired      bool
+	Degraded   bool // cache entered degraded mode
+	Rerouted   bool // routes repointed around the dead spine
+	Reconciled int  // tenants re-placed off the dead spine
+	Recovered  bool // degraded exited and drain lifted after heal
+}
+
+// Result is one soak run's ledger.
+type Result struct {
+	Epochs  int
+	Elapsed time.Duration // virtual
+
+	Reads, ReadsDone uint64 // issued / completed
+	Writes, Acked    uint64
+	Hits, Lost       uint64
+	StaleChecks      uint64
+
+	TenantsPlaced, TenantsReleased int
+	PlaceErrors                    int
+	RetriedBlocks                  int // demand recovered by RetryUnplaced
+	Reconciles                     int // ReconcileTenant runs
+	Repairs                        uint64
+
+	ChaosInstalled int
+	Reroutes       uint64
+	SpineKill      SpineKillReport
+
+	P99     time.Duration
+	HitRate float64
+
+	Violations []Violation
+}
+
+// Run executes one soak to completion (or first violation). The error
+// return covers harness construction only — invariant breaches are reported
+// in Result.Violations, never as errors.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Leaves < 2 || cfg.Spines < 2 {
+		return nil, fmt.Errorf("soak: need >=2 leaves and >=2 spines, have %dx%d", cfg.Leaves, cfg.Spines)
+	}
+	h, err := newHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return h.run()
+}
+
+// harness is one assembled soak instance.
+type harness struct {
+	cfg Config
+	res *Result
+
+	f   *fabric.Fabric
+	fc  *fabric.Controller
+	hm  *fabric.Health
+	cc  *fabric.CoherentCache
+	srv *apps.KVServer
+	reg *telemetry.Registry
+	tel *chaos.Telemetry
+
+	rng  *rand.Rand
+	hist *telemetry.Histogram
+	ring *flightRing
+
+	keys         []keyState
+	pendingReads map[uint32]readState
+	pendingPuts  map[uint32]putState
+	nextVal      uint32
+
+	tenants   []*liveTenant
+	slabFree  []uint16
+	nextSlab  uint16
+	arrivalCr float64 // fractional tenant arrivals carried across epochs
+
+	repairFID uint16
+	nextChaos time.Duration
+	killed    bool
+	failed    *Violation // set by callbacks, harvested by the driver
+	csv       *csvWriter
+}
+
+const (
+	cacheFID      = 400
+	repairFIDBase = 401
+	tenantFIDBase = 1000
+	tenantFIDSlab = 16
+	tenantFIDMax  = 60000
+)
+
+func newHarness(cfg Config) (*harness, error) {
+	fcfg := fabric.DefaultConfig(cfg.Leaves, cfg.Spines)
+	// Shrink the stages so tenant churn creates genuine capacity pressure
+	// (spills, rejections, RetryUnplaced work) at soak-sized demands.
+	fcfg.RMT.StageWords = 96 * 256
+	fcfg.Alloc.StageWords = 96 * 256
+	f, err := fabric.New(fcfg)
+	if err != nil {
+		return nil, err
+	}
+	h := &harness{
+		cfg:          cfg,
+		res:          &Result{},
+		f:            f,
+		fc:           fabric.NewController(f),
+		reg:          telemetry.NewRegistry(),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		ring:         newFlightRing(256),
+		pendingReads: make(map[uint32]readState),
+		pendingPuts:  make(map[uint32]putState),
+		nextSlab:     tenantFIDBase,
+		repairFID:    repairFIDBase,
+		nextChaos:    cfg.ChaosEvery,
+	}
+
+	// Telemetry: the fabric controller, ONE switch runtime (leaf 0 — metric
+	// names are registry-global, so a second runtime would collide), the
+	// chaos event counter, and the soak's own read-latency histogram.
+	h.fc.AttachTelemetry(h.reg)
+	f.Leaves[0].RT.AttachTelemetry(h.reg)
+	h.tel = chaos.NewTelemetry(h.reg)
+	h.hist = h.reg.NewHistogram("activermt_soak_read_latency_ns",
+		"latency of completed soak cache reads, virtual nanoseconds")
+
+	// Server on the last leaf, cache replicas on leaves 0 and 1.
+	mac, ip := f.NewHostID()
+	h.srv = apps.NewKVServer(f.Eng, mac, ip)
+	port, err := f.AttachHost(cfg.Leaves-1, h.srv, mac)
+	if err != nil {
+		return nil, err
+	}
+	h.srv.Attach(port)
+
+	cc, err := fabric.NewCoherentCache(h.fc, cacheFID, []int{0, 1}, h.srv.MAC(), ip)
+	if err != nil {
+		return nil, err
+	}
+	h.cc = cc
+
+	h.hm = fabric.NewHealth(f)
+	h.fc.ObserveFailures(h.hm)
+	cc.WatchHealth(h.hm)
+	h.hm.Subscribe(func(ev fabric.LinkEvent) {
+		h.ring.note(f.Eng.Now(), "link leaf%d<->spine%d down=%v", ev.Leaf, ev.Spine, ev.Down)
+	})
+	prev := f.OnReroute
+	f.OnReroute = func(changed int) {
+		h.res.Reroutes += uint64(changed)
+		if prev != nil {
+			prev(changed)
+		}
+	}
+
+	cc.OnResponse = h.onReadResponse
+	cc.OnWriteAck = h.onWriteAck
+
+	if err := h.warmKeys(); err != nil {
+		return nil, err
+	}
+	h.hm.Start()
+	return h, nil
+}
+
+func (h *harness) run() (*Result, error) {
+	eng := h.f.Eng
+	h.csv = newCSVWriter(h.cfg.CSV)
+	h.csv.header()
+	h.startPumps()
+	end := eng.Now() + h.cfg.Duration
+
+	for eng.Now() < end && h.failed == nil {
+		h.f.RunFor(h.cfg.Epoch)
+		h.res.Epochs++
+
+		// Control actions run from the driver, outside engine callbacks:
+		// placement / repair / reconciliation all step the engine
+		// internally.
+		h.churnTenants()
+		h.maybeChaos()
+		h.maybeSpineKill()
+		h.reconcileDeadSpines()
+		h.maybeRepair()
+
+		h.expireReads()
+		h.checkInvariants()
+		h.observeKillProgress()
+		h.csv.row(h)
+
+		if h.res.Epochs%32 == 0 {
+			h.cfg.Progress("soak: epoch %d t=%v reads=%d writes=%d lost=%d tenants=%d violations=%d",
+				h.res.Epochs, eng.Now(), h.res.ReadsDone, h.res.Acked, h.res.Lost,
+				len(h.tenants), len(h.res.Violations))
+		}
+	}
+	h.hm.Stop()
+	h.finish()
+	return h.res, nil
+}
+
+// checkInvariants runs the per-epoch invariant sweep. The first breach
+// freezes the flight recorder into the violation and stops the run.
+func (h *harness) checkInvariants() {
+	now := h.f.Eng.Now()
+	if h.failed != nil { // raised by a callback (stale read) mid-epoch
+		h.res.Violations = append(h.res.Violations, *h.failed)
+		return
+	}
+	fail := func(kind, detail string) {
+		v := Violation{At: now, Epoch: h.res.Epochs, Kind: kind, Detail: detail,
+			Trace: h.ring.dump(h.reg)}
+		h.res.Violations = append(h.res.Violations, v)
+		h.failed = &v
+	}
+	for _, n := range h.f.Nodes() {
+		if fs := guard.AuditRuntime(n.RT); len(fs) > 0 {
+			fail("guard-audit", fmt.Sprintf("%s: %v", n.Name, fs[0]))
+			return
+		}
+		if err := n.Ctrl.Allocator().AuditBooks(); err != nil {
+			fail("alloc-books", fmt.Sprintf("%s: %v", n.Name, err))
+			return
+		}
+	}
+	if p99, n := h.readP99(); n >= 100 && p99 > h.cfg.P99Bound {
+		fail("latency-p99", fmt.Sprintf("read p99 %v exceeds bound %v over %d reads", p99, h.cfg.P99Bound, n))
+	}
+}
+
+// readP99 computes the p99 of completed reads from the telemetry registry's
+// histogram — the same surface an operator would scrape.
+func (h *harness) readP99() (time.Duration, uint64) {
+	snap := h.reg.Snapshot()
+	for _, m := range snap.Metrics {
+		if m.Name != "activermt_soak_read_latency_ns" {
+			continue
+		}
+		for _, s := range m.Samples {
+			if s.Hist != nil {
+				return time.Duration(histQuantile(s.Hist, 0.99)), s.Hist.Count
+			}
+		}
+	}
+	return 0, 0
+}
+
+func (h *harness) finish() {
+	h.res.Elapsed = h.f.Eng.Now()
+	h.res.Repairs = h.cc.Repairs
+	h.res.P99, _ = h.readP99()
+	h.res.HitRate = h.cc.HitRate()
+}
+
+// auditAll is exported for tests: one full invariant sweep over every node.
+func AuditFabric(f *fabric.Fabric) error {
+	for _, n := range f.Nodes() {
+		if fs := guard.AuditRuntime(n.RT); len(fs) > 0 {
+			return fmt.Errorf("%s: %v", n.Name, fs[0])
+		}
+		if err := n.Ctrl.Allocator().AuditBooks(); err != nil {
+			return fmt.Errorf("%s: %w", n.Name, err)
+		}
+	}
+	return nil
+}

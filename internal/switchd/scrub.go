@@ -1,0 +1,52 @@
+package switchd
+
+// ScrubFID zeroes every register word inside fid's installed regions, stage
+// by stage, through the control plane. This is the reliable counterpart to
+// a data-plane wipe capsule: a capsule can be lost on a lossy or flapping
+// link and there is no acknowledgment for a sentinel, whereas the control
+// channel to a live controller is the same path the allocation protocol
+// already trusts for table updates. The fabric's coherent cache uses it to
+// scrub a home replica that may hold values newer traffic has overwritten
+// elsewhere.
+//
+// Returns the number of words zeroed and whether the scrub ran at all: a
+// crashed controller cannot reach its switch, so callers must keep the
+// region marked dirty and retry after Restart.
+func (c *Controller) ScrubFID(fid uint16) (int, bool) {
+	if !c.alive {
+		return 0, false
+	}
+	words := 0
+	dev := c.rt.Device()
+	for s, reg := range c.rt.InstalledRegions(fid) {
+		if err := dev.Stage(s).Registers.Zero(reg.Lo, reg.Hi); err != nil {
+			continue
+		}
+		words += int(reg.Hi - reg.Lo)
+	}
+	return words, true
+}
+
+// ScrubWord zeroes the single word at addr in every installed region of fid
+// that contains it — a per-key eviction through the control plane. The
+// coherent cache uses it when a write's acknowledged commit provably
+// bypassed a replica (rerouted around it), so whatever that replica holds
+// for the key is unconfirmed: zeroing turns a possible stale hit into a
+// miss the server refills. Same liveness contract as ScrubFID.
+func (c *Controller) ScrubWord(fid uint16, addr uint32) (int, bool) {
+	if !c.alive {
+		return 0, false
+	}
+	words := 0
+	dev := c.rt.Device()
+	for s, reg := range c.rt.InstalledRegions(fid) {
+		if addr < reg.Lo || addr >= reg.Hi {
+			continue
+		}
+		if err := dev.Stage(s).Registers.Zero(addr, addr+1); err != nil {
+			continue
+		}
+		words++
+	}
+	return words, true
+}

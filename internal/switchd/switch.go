@@ -36,10 +36,16 @@ type Switch struct {
 	// switch behaves exactly as before.
 	relay bool
 
+	// probeSink receives link-health probe replies (FlagProbe|FlagFromSwch
+	// control frames addressed to this switch) — the fabric health monitor
+	// registers one per leaf.
+	probeSink func(f *packet.Frame, port *netsim.Port)
+
 	// Counters.
 	FramesIn, FramesForwarded, FramesReturned, FramesDropped uint64
 	UnknownMAC, GuardDropped                                 uint64
 	ControlTransit, RelayedPrograms                          uint64
+	ProbesEchoed, ProbeReplies                               uint64
 }
 
 // NewSwitch builds a switch around a runtime. Attach the controller with
@@ -92,6 +98,40 @@ func (s *Switch) AddRoute(dst packet.MAC, pnum int) {
 // SetRelay switches fabric transit behavior on or off (see the relay field).
 func (s *Switch) SetRelay(on bool) { s.relay = on }
 
+// SetProbeSink registers the receiver for link-health probe replies.
+func (s *Switch) SetProbeSink(fn func(f *packet.Frame, port *netsim.Port)) { s.probeSink = fn }
+
+// Port returns a registered port by number (the fabric uses this to target
+// link-level fault injectors at specific uplinks).
+func (s *Switch) Port(num int) (*netsim.Port, bool) {
+	p, ok := s.ports[num]
+	return p, ok
+}
+
+// SendProbe emits a link-health probe out the given port toward dst: a
+// TypeControl frame flagged FlagProbe whose Opaque word carries the caller's
+// correlation token. The probed switch echoes it back in the data plane.
+func (s *Switch) SendProbe(pnum int, dst packet.MAC, token uint32) error {
+	p, ok := s.ports[pnum]
+	if !ok {
+		return fmt.Errorf("switchd: no port %d for probe", pnum)
+	}
+	a := &packet.Active{}
+	a.Header.SetType(packet.TypeControl)
+	a.Header.Flags |= packet.FlagProbe
+	a.Header.Opaque = token
+	f := &packet.Frame{
+		Eth:    packet.EthHeader{Dst: dst, Src: s.mac, EtherType: packet.EtherTypeActive},
+		Active: a,
+	}
+	raw, err := packet.EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	p.Send(raw)
+	return nil
+}
+
 // Receive implements netsim.Endpoint: the switch pipeline entry point.
 func (s *Switch) Receive(frame []byte, port *netsim.Port) {
 	s.FramesIn++
@@ -121,6 +161,27 @@ func (s *Switch) Receive(frame []byte, port *netsim.Port) {
 		if s.relay && f.Eth.Dst != s.mac {
 			s.ControlTransit++
 			s.forward(f, s.rt.Device().Config().PassLatency)
+			return
+		}
+		if f.Active.Header.Flags&packet.FlagProbe != 0 {
+			// Link-health probes never reach the controller: a probe is
+			// answered by the data plane (so a crashed control plane does
+			// not read as a dead link), and a reply goes to the probe sink.
+			if f.Active.Header.Flags&packet.FlagFromSwch != 0 {
+				s.ProbeReplies++
+				if s.probeSink != nil {
+					s.probeSink(f, port)
+				}
+				return
+			}
+			s.ProbesEchoed++
+			reply := *f.Active
+			reply.Header.Flags |= packet.FlagFromSwch
+			of := &packet.Frame{
+				Eth:    packet.EthHeader{Dst: f.Eth.Src, Src: s.mac, EtherType: packet.EtherTypeActive},
+				Active: &reply,
+			}
+			s.sendOut(port.Num, of, s.rt.Device().Config().PassLatency/2)
 			return
 		}
 		if s.ctrl != nil {
