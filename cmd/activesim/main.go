@@ -8,6 +8,21 @@
 //	activesim -scenario multi      # four staggered cache tenants (Fig 9b)
 //	activesim -scenario lb         # Cheetah load balancing across 4 servers
 //	activesim -scenario churn      # Poisson arrivals/departures (Fig 8a)
+//	activesim -scenario defrag     # tenant churn + telemetry-driven migration
+//
+// Every testbed scenario runs under a policy engine selected with -policy:
+// "static" re-emits the historical constants (bit-identical behavior),
+// "adaptive" closes the loop over telemetry — tightening the guard under
+// attack, widening realloc windows under timeouts, and defragmenting SRAM
+// by live migration when the fragmentation gauge crosses its trigger. The
+// defrag scenario makes the difference visible: under -policy static the
+// gauge stays high, under -policy adaptive migration recovers it.
+//
+// The two engines are compared head to head with -policy-ab, which runs
+// the chaos library under both and writes one CSV row per scenario:
+//
+//	activesim -policy-ab results/policy_ab.csv
+//	activesim -policy-ab out.csv -chaos flaky-link   # one scenario only
 //
 // The cache scenario accepts -chaos <name> to run under a fault schedule
 // from the chaos library (deterministic per -seed):
@@ -46,6 +61,7 @@ import (
 	"activermt/internal/fabric"
 	"activermt/internal/netsim"
 	"activermt/internal/packet"
+	"activermt/internal/policy"
 	"activermt/internal/soak"
 	"activermt/internal/telemetry"
 	"activermt/internal/testbed"
@@ -53,8 +69,10 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "cache", "cache | multi | lb | churn")
+	scenario := flag.String("scenario", "cache", "cache | multi | lb | churn | defrag")
 	seed := flag.Int64("seed", 1, "workload seed")
+	policyMode := flag.String("policy", "static", "control policy engine: static | adaptive")
+	policyAB := flag.String("policy-ab", "", "run the static-vs-adaptive A/B over the chaos library and write CSV here (restrict with -chaos)")
 	chaosName := flag.String("chaos", "", "fault scenario for -scenario cache: "+strings.Join(chaos.Names(), " | "))
 	adversary := flag.Bool("adversary", false, "co-schedule an adversarial tenant attacking the cache")
 	telAddr := flag.String("telemetry", "", "serve Prometheus/JSON telemetry on this address during -scenario cache (e.g. 127.0.0.1:9464)")
@@ -64,8 +82,20 @@ func main() {
 	soakCSV := flag.String("soak-csv", "", "with -soak: write per-epoch metrics CSV to this file")
 	flag.Parse()
 
+	if *policyMode != "static" && *policyMode != "adaptive" {
+		fmt.Fprintf(os.Stderr, "activesim: -policy %q: want static or adaptive\n", *policyMode)
+		os.Exit(2)
+	}
+	if *policyAB != "" {
+		if err := runPolicyAB(*policyAB, *chaosName, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "activesim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *soakDur > 0 {
-		if err := runSoak(*seed, *soakDur, *soakCSV); err != nil {
+		if err := runSoak(*seed, *soakDur, *soakCSV, *policyMode); err != nil {
 			fmt.Fprintln(os.Stderr, "activesim:", err)
 			os.Exit(1)
 		}
@@ -85,7 +115,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "activesim:", err)
 		os.Exit(2)
 	}
-	if leaves > 0 && (*scenario != "cache" || *chaosName != "" || *adversary || *telAddr != "") {
+	if leaves > 0 && (*scenario != "cache" || *chaosName != "" || *adversary || *telAddr != "" || *policyMode != "static") {
 		fmt.Fprintln(os.Stderr, "activesim: a leaf-spine topology only applies to plain -scenario cache")
 		os.Exit(2)
 	}
@@ -94,8 +124,10 @@ func main() {
 		if leaves > 0 {
 			err = runFabricCache(*seed, leaves, spines)
 		} else {
-			err = runCache(*seed, *chaosName, *adversary, *telAddr)
+			err = runCache(*seed, *chaosName, *adversary, *telAddr, *policyMode)
 		}
+	case "defrag":
+		err = runDefragDemo(*seed, *policyMode)
 	case "multi":
 		err = runFromExperiment("fig9b", *seed)
 	case "churn":
@@ -115,8 +147,8 @@ func main() {
 // runSoak drives the internal/soak harness: a leaf-spine fabric under
 // continuous chaos, tenant churn, and a coherent-cache workload, with
 // invariants checked every virtual epoch. Exits non-zero on any violation.
-func runSoak(seed int64, dur time.Duration, csvPath string) error {
-	cfg := soak.Config{Duration: dur, Seed: seed, Progress: func(format string, args ...any) {
+func runSoak(seed int64, dur time.Duration, csvPath, policyMode string) error {
+	cfg := soak.Config{Duration: dur, Seed: seed, Policy: policyMode, Progress: func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)
 	}}
 	if csvPath != "" {
@@ -139,6 +171,10 @@ func runSoak(seed int64, dur time.Duration, csvPath string) error {
 	k := res.SpineKill
 	fmt.Printf("soak: spine-kill arc: fired=%v degraded=%v rerouted=%v reconciled=%v recovered=%v\n",
 		k.Fired, k.Degraded, k.Rerouted, k.Reconciled, k.Recovered)
+	if policyMode == "adaptive" {
+		fmt.Printf("soak: adaptive policy: %d defrag passes, %d migrations, max frag %.3f\n",
+			res.DefragPasses, res.DefragMigrations, res.MaxFragmentation)
+	}
 	if len(res.Violations) > 0 {
 		for _, v := range res.Violations {
 			fmt.Fprintf(os.Stderr, "soak: invariant violation: %v\n", v)
@@ -291,11 +327,14 @@ func runFabricCache(seed int64, leaves, spines int) error {
 	return nil
 }
 
-func runCache(seed int64, chaosName string, adversary bool, telAddr string) error {
+func runCache(seed int64, chaosName string, adversary bool, telAddr, policyMode string) error {
 	tb, err := testbed.New(testbed.DefaultConfig())
 	if err != nil {
 		return err
 	}
+	loop := tb.AttachPolicy(policyEngine(policyMode))
+	defer loop.Stop()
+	fmt.Printf("[%8.3fs] policy engine: %s\n", tb.Eng.Now().Seconds(), policyMode)
 	var telSrv *telemetry.Server
 	var midPackets uint64
 	if telAddr != "" {
@@ -469,7 +508,175 @@ func runCache(seed int64, chaosName string, adversary bool, telAddr string) erro
 		fmt.Printf("[%8.3fs] telemetry: final scrape ok (%d families, packets mid=%d final=%d, monotone)\n",
 			tb.Eng.Now().Seconds(), families, midPackets, packets)
 	}
+	fmt.Printf("[%8.3fs] policy loop: %d evals, %d decision changes, %d defrag passes (%d migrations)\n",
+		tb.Eng.Now().Seconds(), loop.Evals, loop.Changes, tb.Ctrl.DefragPasses, tb.Ctrl.DefragMigrations)
 	return nil
+}
+
+// policyEngine resolves the -policy flag; values are validated in main.
+func policyEngine(mode string) policy.Engine {
+	if mode == "adaptive" {
+		// The single-switch fragmentation gauge is diluted by the many
+		// stages the workload tenants never occupy, so the interactive
+		// scenarios use the same low trigger band as the A/B harness.
+		return &policy.Adaptive{DefragTrigger: 0.02, DefragTarget: 0.005}
+	}
+	return policy.Static{}
+}
+
+// runPolicyAB runs the head-to-head comparison and writes the CSV. An
+// empty chaosName means the whole library.
+func runPolicyAB(csvPath, chaosName string, seed int64) error {
+	var scenarios []string
+	if chaosName != "" {
+		scenarios = []string{chaosName}
+	}
+	fmt.Printf("policy A/B: %d scenario(s) x {static, adaptive}, seed %d\n",
+		maxAB(len(scenarios), len(chaos.Names())), seed)
+	rows, err := experiments.RunPolicyAB(scenarios, seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-18s static frag %.4f (0 migrations) | adaptive frag %.4f (%d migrations, %d blocks) -> %s\n",
+			r.Scenario, r.Static.FinalFrag, r.Adaptive.FinalFrag,
+			r.Adaptive.DefragMigrations, r.Adaptive.BlocksMoved, r.Winner())
+	}
+	if err := os.WriteFile(csvPath, []byte(experiments.PolicyABCSV(rows)), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("policy A/B: wrote %s (%d rows)\n", csvPath, len(rows))
+	return nil
+}
+
+func maxAB(n, all int) int {
+	if n == 0 {
+		return all
+	}
+	return n
+}
+
+// runDefragDemo makes the closed loop visible: a churn pattern leaves the
+// switch fragmented, and the policy engine either ignores it (static) or
+// live-migrates the survivors down into the holes (adaptive) while the
+// tenants keep serving. State survival is checked by writing a pattern
+// into every surviving tenant before the migration and reading it back
+// after.
+func runDefragDemo(seed int64, policyMode string) error {
+	tb, err := testbed.New(testbed.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	loop := tb.AttachPolicy(policyEngine(policyMode))
+	defer loop.Stop()
+	now := func() float64 { return tb.Eng.Now().Seconds() }
+	fmt.Printf("[%8.3fs] policy engine: %s\n", now(), policyMode)
+
+	// Four waves of inelastic memsync tenants, then waves 1 and 3 released:
+	// the survivors sit above the released waves' holes.
+	const waves, perWave, demand, words = 4, 6, 48, 8
+	type tenant struct {
+		cl *client.Client
+		ms *apps.MemSync
+	}
+	var all []tenant
+	fid := uint16(100)
+	for w := 0; w < waves; w++ {
+		for i := 0; i < perWave; i++ {
+			ms := apps.NewMemSync()
+			cl := tb.AddClient(fid, apps.MemSyncService(demand))
+			ms.Bind(cl)
+			if err := cl.RequestAllocation(); err != nil {
+				return err
+			}
+			if err := tb.WaitOperational(cl, 10*time.Second); err != nil {
+				return fmt.Errorf("fid %d: %w", fid, err)
+			}
+			all = append(all, tenant{cl, ms})
+			fid++
+		}
+	}
+	fmt.Printf("[%8.3fs] admitted %d memsync tenants (%d blocks each), utilization %.3f\n",
+		now(), len(all), demand, tb.Ctrl.Allocator().Utilization())
+
+	// Survivors get a recognizable pattern in switch SRAM before churn.
+	var survivors []tenant
+	for w := 0; w < waves; w++ {
+		for i := 0; i < perWave; i++ {
+			t := all[w*perWave+i]
+			if w%2 == 0 {
+				continue
+			}
+			for j := 0; j < words; j++ {
+				t.ms.Write(uint32(j), uint32(t.cl.FID())<<16|uint32(j), nil)
+				tb.RunFor(100 * time.Microsecond)
+			}
+			survivors = append(survivors, t)
+		}
+	}
+	tb.RunFor(100 * time.Millisecond)
+	for w := 0; w < waves; w += 2 {
+		for i := 0; i < perWave; i++ {
+			if err := all[w*perWave+i].cl.Release(); err != nil {
+				return err
+			}
+		}
+	}
+	tb.RunFor(200 * time.Millisecond)
+	fragBefore := tb.Ctrl.Allocator().Fragmentation()
+	fmt.Printf("[%8.3fs] released %d tenants: fragmentation %.4f, utilization %.3f\n",
+		now(), waves/2*perWave, fragBefore, tb.Ctrl.Allocator().Utilization())
+
+	// The policy loop runs every 100ms; give it a few seconds. Under
+	// adaptive it observes the gauge over the trigger and queues migration
+	// passes; under static nothing happens, by design.
+	tb.RunFor(5 * time.Second)
+	fragAfter := tb.Ctrl.Allocator().Fragmentation()
+	fmt.Printf("[%8.3fs] after policy window: fragmentation %.4f -> %.4f, %d defrag passes, %d tenants migrated, %d blocks moved, %d words restored\n",
+		now(), fragBefore, fragAfter, tb.Ctrl.DefragPasses, tb.Ctrl.DefragMigrations,
+		tb.Ctrl.DefragBlocksMoved, tb.Ctrl.DefragWordsRestored)
+
+	// Books and state must survive whichever path ran.
+	bad := 0
+	for _, t := range survivors {
+		for j := 0; j < words; j++ {
+			want := uint32(t.cl.FID())<<16 | uint32(j)
+			got, err := readBack(tb, t.ms, j)
+			if err != nil || got != want {
+				bad++
+			}
+		}
+	}
+	if err := tb.Ctrl.Allocator().AuditBooks(); err != nil {
+		return fmt.Errorf("allocator books: %w", err)
+	}
+	fmt.Printf("[%8.3fs] audit: books clean, %d/%d survivor words verified (%d bad)\n",
+		now(), len(survivors)*words-bad, len(survivors)*words, bad)
+	if bad > 0 {
+		return fmt.Errorf("%d survivor words lost across migration", bad)
+	}
+	if policyMode == "adaptive" && tb.Ctrl.DefragMigrations == 0 && fragBefore > 0.02 {
+		return fmt.Errorf("adaptive policy never migrated despite fragmentation %.4f", fragBefore)
+	}
+	return nil
+}
+
+// readBack issues a data-plane read through the tenant's capsule program
+// and spins the engine until the reply lands.
+func readBack(tb *testbed.Testbed, ms *apps.MemSync, index int) (uint32, error) {
+	var got uint32
+	done := false
+	ms.Read(uint32(index), func(v uint32) {
+		got, done = v, true
+	})
+	limit := tb.Eng.Now() + time.Second
+	for !done && tb.Eng.Now() < limit {
+		tb.RunFor(time.Millisecond)
+	}
+	if !done {
+		return 0, fmt.Errorf("read of index %d timed out", index)
+	}
+	return got, nil
 }
 
 // scrapeRequired are the metric families the ISSUE's acceptance criteria

@@ -86,6 +86,9 @@ func runRebase(path string, trials, packets int) error {
 		fmt.Printf("  fabric      %12.0f rtts %.4fx (%d switches)\n",
 			res.Fabric.PPS, res.Fabric.Speedup, res.Fabric.Lanes)
 	}
+	fmt.Printf("  defrag      frag %.4f -> %.4f, %d migrations, %d blocks, %d words\n",
+		res.Defrag.FragBefore, res.Defrag.FragAfter,
+		res.Defrag.Migrations, res.Defrag.BlocksMoved, res.Defrag.WordsRestored)
 	return nil
 }
 
@@ -137,6 +140,9 @@ func run(baselinePath string, trials, packets int, tolerance float64, absolute b
 		cur.Specialized.Speedup, cur.Batch.Speedup)
 	fmt.Printf("  %-14s baseline %+.1f%%   current %+.1f%%\n",
 		"telemetry", base.TelemetryDelta, cur.TelemetryDelta)
+	fmt.Printf("  %-14s baseline %.4f->%.4f (%d migrations)   current %.4f->%.4f (%d migrations, %d blocks)\n",
+		"defrag", base.Defrag.FragBefore, base.Defrag.FragAfter, base.Defrag.Migrations,
+		cur.Defrag.FragBefore, cur.Defrag.FragAfter, cur.Defrag.Migrations, cur.Defrag.BlocksMoved)
 
 	var failures []string
 	fail := func(format string, args ...any) {
@@ -174,6 +180,19 @@ func run(baselinePath string, trials, packets int, tolerance float64, absolute b
 	if base.Fabric.Speedup > 0 && cur.Fabric.Speedup < base.Fabric.Speedup*slack {
 		fail("fabric ratio %.4fx regressed >%.0f%% from baseline %.4fx",
 			cur.Fabric.Speedup, tolerance, base.Fabric.Speedup)
+	}
+	// The defrag series is virtual-time deterministic, so it gates on exact
+	// shape, not a noise band: once a baseline records migrations, the
+	// current build must still migrate and must still reduce fragmentation.
+	// A baseline without the series (pre-defrag) contributes nothing.
+	if base.Defrag.Migrations > 0 {
+		if cur.Defrag.Migrations == 0 {
+			fail("defrag series migrated 0 tenants (baseline migrated %d)", base.Defrag.Migrations)
+		}
+		if cur.Defrag.FragAfter >= cur.Defrag.FragBefore {
+			fail("defrag did not reduce fragmentation: %.4f -> %.4f",
+				cur.Defrag.FragBefore, cur.Defrag.FragAfter)
+		}
 	}
 	// A noisy baseline can measure telemetry as faster than bare (delta < 0);
 	// clamp at 0 so such a baseline never gates harder than the hard gate.

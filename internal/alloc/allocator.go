@@ -3,6 +3,8 @@ package alloc
 import (
 	"fmt"
 	"sort"
+
+	"activermt/internal/policy"
 )
 
 // Scheme selects how the allocator ranks feasible mutants (Section 4.2 and
@@ -143,11 +145,6 @@ type Result struct {
 	MutantsFeasible int
 }
 
-// maxCommitAttempts bounds how many ranked candidates Allocate will try to
-// commit before declaring placement failure; commits rarely fail (the
-// skyline fallback makes elastic placement robust), so this is a backstop.
-const maxCommitAttempts = 32
-
 // Allocator is the switch controller's memory-allocation state: the block
 // pools of every stage, the admitted applications, and the pinned positions
 // of inelastic allocations.
@@ -158,6 +155,13 @@ type Allocator struct {
 	apps    map[uint16]*App
 	pinned  []*intervalSet // per stage: inelastic intervals (persistent)
 	elastic []*intervalSet // per stage: elastic intervals (recomputed)
+
+	// tuning re-homes the search/waterfill constants behind the policy
+	// layer: MaxCommitAttempts bounds how many ranked candidates Allocate
+	// tries before declaring placement failure (commits rarely fail — the
+	// skyline fallback makes elastic placement robust — so it is a
+	// backstop), and SlackDivisor sizes the per-stage waterfill hold-back.
+	tuning policy.AllocTuning
 
 	// tel mirrors the books into occupancy gauges; it outlives the
 	// allocator (see Telemetry) and resyncs after every public mutation.
@@ -178,6 +182,7 @@ func New(cfg Config) (*Allocator, error) {
 		apps:    make(map[uint16]*App),
 		pinned:  make([]*intervalSet, cfg.NumStages),
 		elastic: make([]*intervalSet, cfg.NumStages),
+		tuning:  policy.DefaultDecisions().Alloc,
 	}
 	for i := range a.pinned {
 		a.pinned[i] = &intervalSet{}
@@ -188,6 +193,20 @@ func New(cfg Config) (*Allocator, error) {
 
 // Config returns the allocator configuration.
 func (a *Allocator) Config() Config { return a.cfg }
+
+// Tuning returns the current policy tuning.
+func (a *Allocator) Tuning() policy.AllocTuning { return a.tuning }
+
+// SetTuning applies policy tuning; zero or negative fields keep the
+// defaults (a half-set decision must not wedge the search).
+func (a *Allocator) SetTuning(t policy.AllocTuning) {
+	if t.MaxCommitAttempts > 0 {
+		a.tuning.MaxCommitAttempts = t.MaxCommitAttempts
+	}
+	if t.SlackDivisor > 0 {
+		a.tuning.SlackDivisor = t.SlackDivisor
+	}
+}
 
 // NumApps returns the number of resident applications.
 func (a *Allocator) NumApps() int { return len(a.apps) }
@@ -455,11 +474,11 @@ func (a *Allocator) Allocate(fid uint16, cons *Constraints) (*Result, error) {
 	// under a tied cost share nearly identical stage sets and fail the
 	// same way, so after the best few, sample the remainder evenly.
 	try := cands
-	if len(cands) > maxCommitAttempts {
+	if maxTry := a.tuning.MaxCommitAttempts; len(cands) > maxTry {
 		try = try[:0:0]
-		head := maxCommitAttempts / 4
+		head := maxTry / 4
 		try = append(try, cands[:head]...)
-		stride := (len(cands) - head) / (maxCommitAttempts - head)
+		stride := (len(cands) - head) / (maxTry - head)
 		for i := head; i < len(cands); i += stride {
 			try = append(try, cands[i])
 		}
@@ -592,7 +611,7 @@ func (a *Allocator) recomputeElastic() {
 	// slack is why steady-state utilization converges below 1.0 (the
 	// paper's Figure 7a converges to ~0.75 for the same structural
 	// reason).
-	slack := a.blocks / 16
+	slack := a.blocks / a.tuning.SlackDivisor
 	remaining := make([]int, a.cfg.NumStages)
 	for s := range remaining {
 		remaining[s] = a.blocks - a.pinned[s].used() - slack

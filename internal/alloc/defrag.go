@@ -1,0 +1,183 @@
+package alloc
+
+import "sort"
+
+// Online-defragmentation support: compaction re-places an inelastic app's
+// alignment groups at the lowest feasible offsets, sliding them down into
+// holes left by departed neighbors. Elastic apps never need compaction —
+// the waterfill re-places them on every mutation — so the candidates are
+// exactly the pinned tenants whose positions the books otherwise never
+// revisit.
+
+// Fragmentation computes the activermt_alloc_fragmentation gauge value
+// directly from the books: the fraction of free blocks outside each
+// stage's largest free hole. Zero when the pipeline is empty or every
+// stage's free space is one contiguous hole.
+func (a *Allocator) Fragmentation() float64 {
+	totalFree, largestHoles := 0, 0
+	for s := 0; s < a.cfg.NumStages; s++ {
+		free, largest := stageHoles(a.pinned[s], a.elastic[s], a.blocks)
+		totalFree += free
+		largestHoles += largest
+	}
+	if totalFree == 0 {
+		return 0
+	}
+	return 1 - float64(largestHoles)/float64(totalFree)
+}
+
+// groupMove is one planned group relocation.
+type groupMove struct {
+	gi       int // index into app.groups
+	from, to BlockRange
+}
+
+// compactPlan simulates compacting app and returns the per-group moves and
+// the gain (block·stages slid downward). The books are restored exactly
+// before returning. ok is false when any group would land at or above its
+// current offset (compaction must only ever move state down) or when the
+// app's intervals cannot be located.
+func (a *Allocator) compactPlan(app *App) (moves []groupMove, gain int, ok bool) {
+	// Locate each group's current interval before touching the sets;
+	// app.regions is not authoritative for multi-group apps sharing a
+	// physical stage.
+	old := make([]BlockRange, len(app.groups))
+	for gi, g := range app.groups {
+		found := false
+		for _, iv := range a.pinned[g.stages[0]].ivs {
+			if iv.fid == app.FID && iv.group == g.id {
+				old[gi] = iv.BlockRange
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, 0, false
+		}
+	}
+
+	for _, s := range a.pinned {
+		s.removeOwner(app.FID)
+	}
+	restore := func() {
+		for _, s := range a.pinned {
+			s.removeOwner(app.FID)
+		}
+		for gi, g := range app.groups {
+			for _, s := range g.stages {
+				a.pinned[s].insert(interval{BlockRange: old[gi], fid: app.FID, group: g.id})
+			}
+		}
+	}
+
+	ok = true
+	improved := false
+	for gi, g := range app.groups {
+		sets := make([]*intervalSet, len(g.stages))
+		for i, s := range g.stages {
+			sets[i] = a.pinned[s]
+		}
+		off, found := lowestCommonOffset(sets, g.demand, a.blocks)
+		if !found || off > old[gi].Lo {
+			ok = false
+			break
+		}
+		to := BlockRange{Lo: off, Hi: off + g.demand}
+		if off < old[gi].Lo {
+			improved = true
+			gain += (old[gi].Lo - off) * len(g.stages)
+		}
+		moves = append(moves, groupMove{gi: gi, from: old[gi], to: to})
+		for _, s := range g.stages {
+			a.pinned[s].insert(interval{BlockRange: to, fid: app.FID, group: g.id})
+		}
+	}
+	restore()
+	if !ok || !improved {
+		return nil, 0, false
+	}
+	return moves, gain, true
+}
+
+// CompactionCandidates returns the FIDs of inelastic resident apps that a
+// compaction would move strictly downward, best gain first (ties by FID).
+// eligible filters out pinned-in-place tenants (e.g. fabric replica
+// members); nil means everything is eligible.
+func (a *Allocator) CompactionCandidates(eligible func(uint16) bool) []uint16 {
+	type cand struct {
+		fid  uint16
+		gain int
+	}
+	var cands []cand
+	for _, fid := range a.FIDs() {
+		app := a.apps[fid]
+		if app.Elastic || app.Cons == nil || len(app.groups) == 0 {
+			continue
+		}
+		if eligible != nil && !eligible(fid) {
+			continue
+		}
+		if _, gain, ok := a.compactPlan(app); ok {
+			cands = append(cands, cand{fid: fid, gain: gain})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gain != cands[j].gain {
+			return cands[i].gain > cands[j].gain
+		}
+		return cands[i].fid < cands[j].fid
+	})
+	out := make([]uint16, len(cands))
+	for i, c := range cands {
+		out[i] = c.fid
+	}
+	return out
+}
+
+// CompactResult reports one committed compaction.
+type CompactResult struct {
+	Placement   *Placement   // the victim's new placement
+	Reallocated []*Placement // elastic neighbors moved by the re-waterfill
+	BlocksMoved int          // block·stages slid to lower offsets
+}
+
+// CompactApp re-places fid's groups at the lowest feasible offsets. It
+// commits only a strict improvement (every group at or below its current
+// offset, at least one strictly below); otherwise the books are untouched
+// and ok is false. The caller owns the data-plane half of the migration:
+// snapshotting the old regions and restoring into the new ones around the
+// reallocation protocol.
+func (a *Allocator) CompactApp(fid uint16) (res *CompactResult, ok bool) {
+	app, resident := a.apps[fid]
+	if !resident || app.Elastic || app.Cons == nil || len(app.groups) == 0 {
+		return nil, false
+	}
+	moves, _, ok := a.compactPlan(app)
+	if !ok {
+		return nil, false
+	}
+	defer a.syncTel()
+	before := a.snapshotElasticRegions()
+
+	for _, s := range a.pinned {
+		s.removeOwner(fid)
+	}
+	app.regions = map[int]BlockRange{}
+	blocksMoved := 0
+	for _, mv := range moves {
+		g := app.groups[mv.gi]
+		for _, s := range g.stages {
+			a.pinned[s].insert(interval{BlockRange: mv.to, fid: fid, group: g.id})
+			app.regions[s] = mv.to
+		}
+		if mv.to.Lo < mv.from.Lo {
+			blocksMoved += mv.to.Size() * len(g.stages)
+		}
+	}
+	a.recomputeElastic()
+	return &CompactResult{
+		Placement:   a.placementFor(app),
+		Reallocated: a.changedPlacements(before, fid),
+		BlocksMoved: blocksMoved,
+	}, true
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"activermt/internal/netsim"
+	"activermt/internal/policy"
 	"activermt/internal/switchd"
 )
 
@@ -24,6 +25,9 @@ func Names() []string {
 // duplex links faults apply to (any end of each link); scenarios that only
 // touch the controller or switch memory ignore them.
 func Build(name string, links []*netsim.Port, seed int64) (*Scenario, error) {
+	// The fault schedule is re-homed in internal/policy: the library keeps
+	// the shapes, the policy layer keeps the historical timings.
+	t := policy.DefaultChaosTimings()
 	switch name {
 	case "flaky-link":
 		return FlakyLink(links, seed), nil
@@ -31,26 +35,26 @@ func Build(name string, links []*netsim.Port, seed int64) (*Scenario, error) {
 		if len(links) == 0 {
 			return nil, fmt.Errorf("chaos: %s needs at least one link", name)
 		}
-		return FlappingPort(links[0], 300*time.Millisecond, 5, seed), nil
+		return FlappingPort(links[0], t.FlapPeriod, 5, seed), nil
 	case "controller-outage":
-		return ControllerOutage(40*time.Millisecond, 400*time.Millisecond, seed), nil
+		return ControllerOutage(t.OutageAt, t.OutageFor, seed), nil
 	case "corrupted-memory":
-		return CorruptedMemory(0, 24, 200*time.Millisecond, 400*time.Millisecond, seed), nil
+		return CorruptedMemory(0, 24, t.CorruptAt, t.SweepAt, seed), nil
 	case "link-outage":
 		if len(links) == 0 {
 			return nil, fmt.Errorf("chaos: %s needs at least one link", name)
 		}
-		return LinkOutageScenario(links[0], 100*time.Millisecond, 500*time.Millisecond, seed), nil
+		return LinkOutageScenario(links[0], t.LinkOutageAt, t.LinkOutageFor, seed), nil
 	case "link-flap":
 		if len(links) == 0 {
 			return nil, fmt.Errorf("chaos: %s needs at least one link", name)
 		}
-		return LinkFlapScenario(links[0], 200*time.Millisecond, 6, seed), nil
+		return LinkFlapScenario(links[0], t.LinkFlapPeriod, 6, seed), nil
 	case "partition":
 		if len(links) == 0 {
 			return nil, fmt.Errorf("chaos: %s needs at least one link", name)
 		}
-		return PartitionScenario(links, 100*time.Millisecond, 500*time.Millisecond, seed), nil
+		return PartitionScenario(links, t.PartitionAt, t.PartitionFor, seed), nil
 	default:
 		return nil, fmt.Errorf("chaos: unknown scenario %q (have %v)", name, Names())
 	}
@@ -63,14 +67,15 @@ func Build(name string, links []*netsim.Port, seed int64) (*Scenario, error) {
 func FlakyLink(links []*netsim.Port, seed int64) *Scenario {
 	s := NewScenario("flaky-link", seed)
 	rng := s.Rand("burst-rates")
+	t := policy.DefaultChaosTimings()
 	const bursts = 6
 	for i := 0; i < bursts; i++ {
 		rate := 0.2 + 0.4*rng.Float64()
-		at := time.Duration(i) * 400 * time.Millisecond
+		at := time.Duration(i) * t.FlakyBurstEvery
 		for j, l := range links {
 			inj := LinkLoss{Link: l, Rate: rate, Seed: seed + int64(i*31+j)}
 			s.Apply(at, inj)
-			s.Revert(at+200*time.Millisecond, inj)
+			s.Revert(at+t.FlakyBurstLen, inj)
 		}
 	}
 	return s

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"time"
+
+	"activermt/internal/apps"
+	"activermt/internal/policy"
+	"activermt/internal/testbed"
+)
+
+// DefragStat is the online-defragmentation series in BENCH_pipeline.json.
+// Unlike the pps series it runs entirely on the virtual clock, so the
+// numbers are machine-independent and deterministic: the gate can require
+// exact shape (migration happened, fragmentation fell) rather than a noise
+// band.
+type DefragStat struct {
+	Migrations    uint64  `json:"migrations"`
+	BlocksMoved   uint64  `json:"blocks_moved"`
+	WordsRestored uint64  `json:"words_restored"`
+	FragBefore    float64 `json:"frag_before"`
+	FragAfter     float64 `json:"frag_after"`
+}
+
+// RunDefragBench fragments a switch with the canonical churn pattern (four
+// waves of inelastic memsync tenants, alternate waves released) and lets
+// the adaptive policy loop migrate the survivors down, reporting the
+// before/after fragmentation and the migration volume.
+func RunDefragBench(seed int64) (DefragStat, error) {
+	var st DefragStat
+	tb, err := testbed.New(testbed.DefaultConfig())
+	if err != nil {
+		return st, err
+	}
+
+	const waves, perWave, demand = 4, 6, 48
+	cls := make([]*struct{ release func() error }, 0, waves*perWave)
+	fid := uint16(100)
+	for w := 0; w < waves; w++ {
+		for i := 0; i < perWave; i++ {
+			cl := tb.AddClient(fid, apps.MemSyncService(demand))
+			if err := cl.RequestAllocation(); err != nil {
+				return st, err
+			}
+			if err := tb.WaitOperational(cl, 10*time.Second); err != nil {
+				return st, err
+			}
+			cls = append(cls, &struct{ release func() error }{cl.Release})
+			fid++
+		}
+	}
+	// Release the even waves and sample the gauge BEFORE attaching the
+	// policy loop, so FragBefore reflects the holes rather than the loop's
+	// repair of them.
+	for w := 0; w < waves; w += 2 {
+		for i := 0; i < perWave; i++ {
+			if err := cls[w*perWave+i].release(); err != nil {
+				return st, err
+			}
+		}
+	}
+	tb.RunFor(200 * time.Millisecond)
+	st.FragBefore = tb.Ctrl.Allocator().Fragmentation()
+
+	loop := tb.AttachPolicy(&policy.Adaptive{DefragTrigger: 0.02, DefragTarget: 0.005})
+	defer loop.Stop()
+	tb.RunFor(3 * time.Second)
+	st.FragAfter = tb.Ctrl.Allocator().Fragmentation()
+	st.Migrations = tb.Ctrl.DefragMigrations
+	st.BlocksMoved = tb.Ctrl.DefragBlocksMoved
+	st.WordsRestored = tb.Ctrl.DefragWordsRestored
+	return st, nil
+}

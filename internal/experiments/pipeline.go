@@ -78,6 +78,11 @@ type PipelineBench struct {
 	// catch relay-path regressions ratio-wise. Zero when the series was
 	// skipped (pre-fabric baselines).
 	Fabric LaneRate `json:"fabric,omitempty"`
+
+	// Defrag is the online-defragmentation series (RunDefragBench): a
+	// virtual-time churn + adaptive-policy migration run, deterministic per
+	// build. All zeros in pre-defrag baselines.
+	Defrag DefragStat `json:"defrag"`
 }
 
 // pipelineCacheProg is the paper's cache query (Listing 1): three memory
@@ -287,6 +292,9 @@ func RunPipelineBench(cfg PipelineBenchConfig) (*PipelineBench, error) {
 			return nil, err
 		}
 		res.Fabric.Speedup = res.Fabric.PPS / res.Single.PPS
+	}
+	if res.Defrag, err = RunDefragBench(1); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

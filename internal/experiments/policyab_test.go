@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyABSingleScenario runs one full A/B cell pair and checks the
+// structural claims the committed results/policy_ab.csv rests on: the
+// static engine never migrates, the adaptive engine actually defragments
+// (less fragmentation via at least one live migration, same workload
+// seed), and both runs end with balanced books and a clean runtime audit.
+func TestPolicyABSingleScenario(t *testing.T) {
+	rows, err := RunPolicyAB([]string{"flaky-link"}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Static.DefragMigrations != 0 {
+		t.Errorf("static engine migrated %d tenants; must never defragment", r.Static.DefragMigrations)
+	}
+	if !r.Static.AuditClean || !r.Adaptive.AuditClean {
+		t.Errorf("audit not clean: static=%v adaptive=%v", r.Static.AuditClean, r.Adaptive.AuditClean)
+	}
+	if r.Static.FinalFrag <= 0 {
+		t.Errorf("churn pattern did not fragment the switch: static frag %v", r.Static.FinalFrag)
+	}
+	if r.Adaptive.DefragMigrations == 0 {
+		t.Error("adaptive engine never migrated")
+	}
+	if r.Adaptive.FinalFrag >= r.Static.FinalFrag {
+		t.Errorf("adaptive frag %v did not improve on static %v", r.Adaptive.FinalFrag, r.Static.FinalFrag)
+	}
+	if w := r.Winner(); w != "adaptive" {
+		t.Errorf("winner = %q, want adaptive", w)
+	}
+	csv := PolicyABCSV(rows)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("CSV ragged: %d header cols vs %d row cols", len(header), len(row))
+	}
+	for _, col := range []string{"scenario", "static_final_frag", "adaptive_defrag_migrations", "winner"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("CSV header missing %q", col)
+		}
+	}
+}
+
+// TestPolicyABDeterministic: same seed, same row — the cells are pure
+// functions of (scenario, mode, seed) under the virtual clock.
+func TestPolicyABDeterministic(t *testing.T) {
+	a, err := RunPolicyAB([]string{"link-outage"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPolicyAB([]string{"link-outage"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a[0], b[0])
+	}
+}

@@ -400,6 +400,10 @@ func (c *Controller) PlaceReplicas(fid uint16, leaves []int, server packet.MAC, 
 			}
 			ask /= 2
 		}
+		// Pin the member against local defragmentation for the same reason
+		// it is inelastic: a migration on one device would skew the set's
+		// shared placement.
+		node.Ctrl.PinPlacement(fid)
 		set.Members = append(set.Members, &Replica{Node: node, Leaf: leaf, Client: cl})
 		return nil
 	}
@@ -437,6 +441,7 @@ func (c *Controller) PlaceReplicas(fid uint16, leaves []int, server packet.MAC, 
 // releaseSet relinquishes every admitted member of a torn-down replica set.
 func (c *Controller) releaseSet(set *ReplicaSet) {
 	for _, m := range set.Members {
+		m.Node.Ctrl.UnpinPlacement(set.FID)
 		if m.Client.Placement() != nil {
 			_ = m.Client.Release()
 		}

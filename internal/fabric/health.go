@@ -23,6 +23,7 @@ import (
 
 	"activermt/internal/netsim"
 	"activermt/internal/packet"
+	"activermt/internal/policy"
 )
 
 // LinkEvent is one health-state transition of a leaf<->spine link.
@@ -65,13 +66,15 @@ type linkHealth struct {
 	down        bool
 }
 
-// NewHealth builds a monitor over the fabric with default thresholds.
+// NewHealth builds a monitor over the fabric with default thresholds (the
+// numbers live in internal/policy so an engine can re-decide them).
 func NewHealth(f *Fabric) *Health {
+	t := policy.DefaultDecisions().Fabric
 	h := &Health{
 		F:             f,
-		ProbeInterval: 10 * time.Millisecond,
-		MissThreshold: 3,
-		RestoreDelay:  2 * time.Millisecond,
+		ProbeInterval: t.ProbeInterval,
+		MissThreshold: t.MissThreshold,
+		RestoreDelay:  t.RestoreDelay,
 		byMAC:         make(map[packet.MAC]int),
 		confirm:       make(map[uint32]func(bool)),
 	}
@@ -82,6 +85,21 @@ func NewHealth(f *Fabric) *Health {
 		}
 	}
 	return h
+}
+
+// ApplyTimers pushes a policy timer decision into the monitor. The probe
+// loop re-reads ProbeInterval when it re-schedules, so a new cadence takes
+// effect on the next tick; zero or negative fields are ignored.
+func (h *Health) ApplyTimers(t policy.FabricTimers) {
+	if t.ProbeInterval > 0 {
+		h.ProbeInterval = t.ProbeInterval
+	}
+	if t.MissThreshold > 0 {
+		h.MissThreshold = t.MissThreshold
+	}
+	if t.RestoreDelay > 0 {
+		h.RestoreDelay = t.RestoreDelay
+	}
 }
 
 // Subscribe registers a link-event observer. Down events fire after the

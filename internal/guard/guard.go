@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"activermt/internal/packet"
+	"activermt/internal/policy"
 	"activermt/internal/runtime"
 	"activermt/internal/telemetry"
 )
@@ -54,15 +55,23 @@ type Policy struct {
 
 // DefaultPolicy returns thresholds tuned for the simulated testbed: a burst
 // of a handful of faults warns, sustained abuse quarantines within tens of
-// packets, and eviction needs roughly twice that again.
+// packets, and eviction needs roughly twice that again. The numbers live in
+// internal/policy so a policy engine can re-decide them at runtime.
 func DefaultPolicy() Policy {
+	return PolicyFrom(policy.DefaultDecisions().Guard)
+}
+
+// PolicyFrom builds a guard policy from policy-engine thresholds, with
+// epoch authentication on (the engine decides severity, not the
+// authentication model).
+func PolicyFrom(t policy.GuardThresholds) Policy {
 	return Policy{
-		Window:        500 * time.Millisecond,
-		WarnAt:        3,
-		RateLimitAt:   8,
-		QuarantineAt:  16,
-		EvictAt:       32,
-		RateLimitPass: 4,
+		Window:        t.Window,
+		WarnAt:        t.WarnAt,
+		RateLimitAt:   t.RateLimitAt,
+		QuarantineAt:  t.QuarantineAt,
+		EvictAt:       t.EvictAt,
+		RateLimitPass: t.RateLimitPass,
 		RequireEpoch:  true,
 	}
 }
@@ -193,6 +202,21 @@ func New(rt *runtime.Runtime, pol Policy, now func() time.Duration) *Guard {
 
 // Policy returns the active policy.
 func (g *Guard) Policy() Policy { return g.pol }
+
+// ApplyThresholds swaps the escalation thresholds in place from a policy
+// decision, preserving the authentication model (RequireEpoch,
+// MaxProgramLen). Existing ledger scores are re-interpreted against the
+// new ladder on their next event; already-escalated tenants are never
+// retroactively demoted.
+func (g *Guard) ApplyThresholds(t policy.GuardThresholds) {
+	p := PolicyFrom(t)
+	p.RequireEpoch = g.pol.RequireEpoch
+	p.MaxProgramLen = g.pol.MaxProgramLen
+	if p.RateLimitPass < 1 {
+		p.RateLimitPass = 1
+	}
+	g.pol = p
+}
 
 // SetEscalator installs the control-plane sink for quarantine/evict
 // decisions (nil: record-only mode).

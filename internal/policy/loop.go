@@ -1,0 +1,122 @@
+package policy
+
+import (
+	"time"
+
+	"activermt/internal/telemetry"
+)
+
+// Loop periodically snapshots a telemetry registry, folds the snapshot
+// into an Observation, asks the Engine to Decide, and hands the result to
+// an Apply sink. Scheduling is injected so the loop runs on whatever clock
+// the deployment uses (the netsim engine in simulation); it never spawns
+// goroutines of its own.
+type Loop struct {
+	Engine   Engine
+	Registry *telemetry.Registry
+	Every    time.Duration                // evaluation cadence; 0 = DefaultEvalInterval
+	Schedule func(time.Duration, func())  // e.g. engine.Schedule
+	Now      func() time.Duration         // e.g. engine.Now
+	Apply    func(Observation, Decisions) // pushes decisions into the layers
+
+	Evals   uint64 // evaluations run
+	Changes uint64 // evaluations whose decisions differed from the previous set
+
+	last    Decisions
+	decided bool
+	prev    Observation
+	seen    bool
+	stopped bool
+	tel     *loopTelemetry
+}
+
+type loopTelemetry struct {
+	evals    *telemetry.Counter
+	changes  *telemetry.Counter
+	snapWin  *telemetry.Gauge
+	frag     *telemetry.FloatGauge
+	defragOn *telemetry.Gauge
+}
+
+// AttachTelemetry registers the loop's own metrics. Optional; call before
+// Start.
+func (l *Loop) AttachTelemetry(reg *telemetry.Registry) {
+	t := &loopTelemetry{
+		evals:    telemetry.NewCounter("activermt_policy_evals_total", "policy engine evaluations"),
+		changes:  telemetry.NewCounter("activermt_policy_changes_total", "evaluations that changed at least one decision"),
+		snapWin:  telemetry.NewGauge("activermt_policy_snapshot_window_ns", "currently decided realloc snapshot window"),
+		frag:     telemetry.NewFloatGauge("activermt_policy_observed_fragmentation", "fragmentation as last observed by the policy loop"),
+		defragOn: telemetry.NewGauge("activermt_policy_defrag_enabled", "1 when the current decisions enable defragmentation"),
+	}
+	reg.MustRegister(t.evals, t.changes, t.snapWin, t.frag, t.defragOn)
+	l.tel = t
+}
+
+// Start runs the first evaluation immediately and schedules the rest.
+func (l *Loop) Start() {
+	l.stopped = false
+	l.tick()
+}
+
+// Stop halts future evaluations; the currently scheduled wake-up becomes a
+// no-op.
+func (l *Loop) Stop() { l.stopped = true }
+
+// Last returns the most recently applied decisions (defaults before the
+// first evaluation).
+func (l *Loop) Last() Decisions {
+	if !l.decided {
+		return DefaultDecisions()
+	}
+	return l.last
+}
+
+func (l *Loop) every() time.Duration {
+	if l.Every > 0 {
+		return l.Every
+	}
+	return DefaultEvalInterval
+}
+
+func (l *Loop) tick() {
+	if l.stopped {
+		return
+	}
+	l.evaluate()
+	l.Schedule(l.every(), l.tick)
+}
+
+func (l *Loop) evaluate() {
+	now := l.Now()
+	var prev *Observation
+	if l.seen {
+		prev = &l.prev
+	}
+	obs := Observe(now, l.Registry.Snapshot(), prev)
+	l.prev, l.seen = obs, true
+
+	d := l.Engine.Decide(obs)
+	l.Evals++
+	if !l.decided || d != l.last {
+		l.Changes++
+	}
+	changed := !l.decided || d != l.last
+	l.last, l.decided = d, true
+
+	if l.tel != nil {
+		l.tel.evals.Inc()
+		if changed {
+			l.tel.changes.Inc()
+		}
+		l.tel.snapWin.Set(int64(d.Controller.SnapshotTimeout))
+		l.tel.frag.Set(obs.Fragmentation)
+		if d.Defrag.Enabled {
+			l.tel.defragOn.Set(1)
+		} else {
+			l.tel.defragOn.Set(0)
+		}
+	}
+	if l.Apply != nil {
+		l.Apply(obs, d)
+	}
+}

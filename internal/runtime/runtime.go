@@ -320,6 +320,29 @@ func (r *Runtime) Snapshot(fid uint16, phys int) ([]uint32, rmt.Region, error) {
 	return words, reg, err
 }
 
+// RestoreRegion writes a captured register image into fid's currently
+// installed region in the given physical stage — the restore half of the
+// memsync snapshot->restore protocol, used by online defragmentation to
+// carry tenant state across a migration. Words beyond the region are
+// truncated (a migrated region never grows, but a partial image must not
+// escape the grant). Restore updates parity, so migrated state does not
+// trip the corruption sweep. Returns the words written.
+func (r *Runtime) RestoreRegion(fid uint16, phys int, words []uint32) (int, error) {
+	st := r.dev.Stage(phys)
+	reg, ok := st.Prot.Region(fid)
+	if !ok {
+		return 0, fmt.Errorf("runtime: fid %d has no region in stage %d", fid, phys)
+	}
+	n := len(words)
+	if max := int(reg.Hi - reg.Lo); n > max {
+		n = max
+	}
+	if err := st.Registers.Restore(reg.Lo, words[:n]); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
 // Output is one packet emitted by program execution.
 type Output struct {
 	Active   *packet.Active

@@ -1,0 +1,85 @@
+package soak
+
+import (
+	"activermt/internal/fabric"
+	"activermt/internal/policy"
+)
+
+// The soak's closed control loop. In adaptive mode every node carries its
+// own policy.Adaptive engine; once per epoch the driver (never an engine
+// callback — control actions step the engine internally) folds that node's
+// books and controller counters into an Observation, asks the engine to
+// decide, and pushes the decisions back into the node's controller, guard,
+// and allocator. Fabric probe timers follow leaf 0's decisions. When a
+// node's engine calls for migration, a defragmentation pass is queued on
+// that node. Static mode keeps the map nil and this file inert: the run is
+// bit-identical to a policy-free soak.
+
+// observeNode builds one node's Observation from direct reads — the soak
+// registry only carries one runtime's metrics, so per-node signals come
+// from the books and the controller counters themselves.
+func (h *harness) observeNode(n *fabric.Node) policy.Observation {
+	return policy.Observation{
+		At:                  h.f.Eng.Now(),
+		Fragmentation:       n.Ctrl.Allocator().Fragmentation(),
+		Utilization:         n.Ctrl.Allocator().Utilization(),
+		SnapshotTimeouts:    n.Ctrl.SnapshotTimeouts,
+		SnapshotEscalations: n.Ctrl.SnapshotEscalations,
+		CorruptQuarantines:  n.Ctrl.QuarantinedBlockCount,
+		LinkFlaps:           h.hm.FlapsObserved,
+	}
+}
+
+func (h *harness) applyPolicy() {
+	if h.engines == nil {
+		return
+	}
+	for i, n := range h.f.Nodes() {
+		eng := h.engines[n.Name]
+		if eng == nil {
+			eng = &policy.Adaptive{}
+			h.engines[n.Name] = eng
+		}
+		obs := h.observeNode(n)
+		d := eng.Decide(obs)
+		n.Ctrl.ApplyPolicy(d)
+		n.Ctrl.Allocator().SetTuning(d.Alloc)
+		if n.Guard != nil {
+			n.Guard.ApplyThresholds(d.Guard)
+		}
+		if i == 0 {
+			h.hm.ApplyTimers(d.Fabric)
+		}
+		if eng.DefragWanted() {
+			h.ring.note(obs.At, "policy: defrag %s (frag %.3f)", n.Name, obs.Fragmentation)
+			n.Ctrl.Defragment(d.Defrag.MaxMoves)
+		}
+	}
+}
+
+// fragSweep runs the bounded-fragmentation invariant: every node's
+// fragmentation must not stay above FragBound for FragEpochs consecutive
+// epochs. A transient spike right after a release wave is legal — the bound
+// is on sustained saturation, which adaptive mode must defragment away and
+// static mode must not plausibly reach. Returns the worst node and its
+// fragmentation when the invariant is breached.
+func (h *harness) fragSweep() (string, float64, bool) {
+	if h.cfg.FragBound < 0 {
+		return "", 0, false
+	}
+	for _, n := range h.f.Nodes() {
+		f := n.Ctrl.Allocator().Fragmentation()
+		if f > h.res.MaxFragmentation {
+			h.res.MaxFragmentation = f
+		}
+		if f > h.cfg.FragBound {
+			h.fragOver[n.Name]++
+			if h.fragOver[n.Name] >= h.cfg.FragEpochs {
+				return n.Name, f, true
+			}
+		} else {
+			h.fragOver[n.Name] = 0
+		}
+	}
+	return "", 0, false
+}

@@ -81,7 +81,7 @@ func (c *csvWriter) header() {
 	if c.w == nil {
 		return
 	}
-	fmt.Fprintln(c.w, "epoch,t_ms,reads_done,writes_acked,hits,lost,p99_ns,degraded,tenants,reroutes,chaos,reconciles,violations")
+	fmt.Fprintln(c.w, "epoch,t_ms,reads_done,writes_acked,hits,lost,p99_ns,degraded,tenants,reroutes,chaos,reconciles,violations,max_frag,defrag_migrations")
 }
 
 func (c *csvWriter) row(h *harness) {
@@ -93,10 +93,18 @@ func (c *csvWriter) row(h *harness) {
 	if h.cc.Degraded() {
 		degraded = 1
 	}
-	fmt.Fprintf(c.w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+	frag := 0.0
+	var migrations uint64
+	for _, n := range h.f.Nodes() {
+		if f := n.Ctrl.Allocator().Fragmentation(); f > frag {
+			frag = f
+		}
+		migrations += n.Ctrl.DefragMigrations
+	}
+	fmt.Fprintf(c.w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d\n",
 		h.res.Epochs, h.f.Eng.Now().Milliseconds(),
 		h.res.ReadsDone, h.res.Acked, h.res.Hits, h.res.Lost,
 		p99.Nanoseconds(), degraded, len(h.tenants),
 		h.res.Reroutes, h.res.ChaosInstalled, h.res.Reconciles,
-		len(h.res.Violations))
+		len(h.res.Violations), frag, migrations)
 }

@@ -36,6 +36,7 @@ import (
 	"activermt/internal/chaos"
 	"activermt/internal/fabric"
 	"activermt/internal/guard"
+	"activermt/internal/policy"
 	"activermt/internal/telemetry"
 )
 
@@ -61,6 +62,17 @@ type Config struct {
 	ChaosEvery   time.Duration // background scenario cadence (default 5s; <0 disables)
 	SpineKillAt  time.Duration // home-spine kill milestone (default Duration/2; <0 disables)
 	SpineKillFor time.Duration // kill duration (default 2s)
+
+	// Policy selects the control engine: "static" (default) replays the
+	// historical constants and never migrates; "adaptive" runs a per-node
+	// policy.Adaptive engine each epoch, including telemetry-driven online
+	// defragmentation.
+	Policy string
+	// FragBound is the bounded-fragmentation invariant's ceiling: no node
+	// may hold fragmentation above it for FragEpochs consecutive epochs
+	// (default 0.98; <0 disables the invariant).
+	FragBound  float64
+	FragEpochs int // consecutive epochs over FragBound that violate (default 5)
 
 	ReadTimeout time.Duration // reads older than this count as lost (default 1s)
 	P99Bound    time.Duration // read-latency p99 ceiling (default 10ms)
@@ -101,6 +113,11 @@ func (cfg Config) withDefaults() Config {
 	defD(&cfg.SpineKillFor, 2*time.Second)
 	defD(&cfg.ReadTimeout, time.Second)
 	defD(&cfg.P99Bound, 10*time.Millisecond)
+	if cfg.Policy == "" {
+		cfg.Policy = "static"
+	}
+	defF(&cfg.FragBound, 0.98)
+	def(&cfg.FragEpochs, 5)
 	if cfg.Progress == nil {
 		cfg.Progress = func(string, ...any) {}
 	}
@@ -112,7 +129,7 @@ func (cfg Config) withDefaults() Config {
 type Violation struct {
 	At     time.Duration // virtual time
 	Epoch  int
-	Kind   string // "stale-read" | "guard-audit" | "alloc-books" | "latency-p99"
+	Kind   string // "stale-read" | "guard-audit" | "alloc-books" | "latency-p99" | "frag-bound"
 	Detail string
 	Trace  []string // recent fault/recovery events, oldest first
 }
@@ -150,6 +167,10 @@ type Result struct {
 	Reroutes       uint64
 	SpineKill      SpineKillReport
 
+	DefragPasses     uint64  // defragmentation passes run across all nodes
+	DefragMigrations uint64  // tenants live-migrated by those passes
+	MaxFragmentation float64 // worst per-node fragmentation seen at an epoch edge
+
 	P99     time.Duration
 	HitRate float64
 
@@ -163,6 +184,9 @@ func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Leaves < 2 || cfg.Spines < 2 {
 		return nil, fmt.Errorf("soak: need >=2 leaves and >=2 spines, have %dx%d", cfg.Leaves, cfg.Spines)
+	}
+	if cfg.Policy != "static" && cfg.Policy != "adaptive" {
+		return nil, fmt.Errorf("soak: unknown policy %q (want static or adaptive)", cfg.Policy)
 	}
 	h, err := newHarness(cfg)
 	if err != nil {
@@ -203,6 +227,9 @@ type harness struct {
 	killed    bool
 	failed    *Violation // set by callbacks, harvested by the driver
 	csv       *csvWriter
+
+	engines  map[string]*policy.Adaptive // per-node engines; nil in static mode
+	fragOver map[string]int              // consecutive epochs over FragBound, per node
 }
 
 const (
@@ -236,6 +263,10 @@ func newHarness(cfg Config) (*harness, error) {
 		nextSlab:     tenantFIDBase,
 		repairFID:    repairFIDBase,
 		nextChaos:    cfg.ChaosEvery,
+		fragOver:     make(map[string]int),
+	}
+	if cfg.Policy == "adaptive" {
+		h.engines = make(map[string]*policy.Adaptive)
 	}
 
 	// Telemetry: the fabric controller, ONE switch runtime (leaf 0 — metric
@@ -305,6 +336,7 @@ func (h *harness) run() (*Result, error) {
 		h.maybeSpineKill()
 		h.reconcileDeadSpines()
 		h.maybeRepair()
+		h.applyPolicy()
 
 		h.expireReads()
 		h.checkInvariants()
@@ -346,6 +378,11 @@ func (h *harness) checkInvariants() {
 			return
 		}
 	}
+	if name, frag, bad := h.fragSweep(); bad {
+		fail("frag-bound", fmt.Sprintf("%s: fragmentation %.3f above %.3f for %d consecutive epochs",
+			name, frag, h.cfg.FragBound, h.cfg.FragEpochs))
+		return
+	}
 	if p99, n := h.readP99(); n >= 100 && p99 > h.cfg.P99Bound {
 		fail("latency-p99", fmt.Sprintf("read p99 %v exceeds bound %v over %d reads", p99, h.cfg.P99Bound, n))
 	}
@@ -373,6 +410,10 @@ func (h *harness) finish() {
 	h.res.Repairs = h.cc.Repairs
 	h.res.P99, _ = h.readP99()
 	h.res.HitRate = h.cc.HitRate()
+	for _, n := range h.f.Nodes() {
+		h.res.DefragPasses += n.Ctrl.DefragPasses
+		h.res.DefragMigrations += n.Ctrl.DefragMigrations
+	}
 }
 
 // auditAll is exported for tests: one full invariant sweep over every node.

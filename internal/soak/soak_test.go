@@ -57,6 +57,48 @@ func TestSoakSmoke(t *testing.T) {
 		res.TenantsPlaced, res.ChaosInstalled, res.P99)
 }
 
+// TestSoakAdaptivePolicy runs the smoke soak under the adaptive policy
+// engine: per-node closed-loop control with telemetry-driven online
+// defragmentation. The run must stay invariant-clean — migration under
+// chaos must never produce a stale read, an isolation finding, or a book
+// leak — and the defrag machinery must actually have engaged (the chaos
+// rider alone guarantees passes once a few scenarios have fired).
+func TestSoakAdaptivePolicy(t *testing.T) {
+	res, err := Run(Config{
+		Duration: 30 * time.Second,
+		Seed:     7,
+		Policy:   "adaptive",
+		Progress: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violation: %v", v)
+		for _, line := range v.Trace {
+			t.Logf("  trace: %s", line)
+		}
+	}
+	if res.ReadsDone == 0 || res.Acked == 0 {
+		t.Fatalf("workload did not run: %d reads, %d acked writes", res.ReadsDone, res.Acked)
+	}
+	if res.ChaosInstalled >= 3 && res.DefragPasses == 0 {
+		t.Fatalf("no defrag passes despite %d chaos scenarios", res.ChaosInstalled)
+	}
+	if res.MaxFragmentation < 0 || res.MaxFragmentation > 1 {
+		t.Fatalf("max fragmentation %v out of range", res.MaxFragmentation)
+	}
+	t.Logf("adaptive soak: %d epochs, %d defrag passes, %d migrations, max frag %.3f",
+		res.Epochs, res.DefragPasses, res.DefragMigrations, res.MaxFragmentation)
+}
+
+// TestSoakPolicyValidation rejects unknown engines up front.
+func TestSoakPolicyValidation(t *testing.T) {
+	if _, err := Run(Config{Duration: time.Second, Policy: "bogus"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
 // TestSoakSeedsDisjoint checks determinism plumbing cheaply: two different
 // seeds must produce different chaos histories (and a repeated seed the
 // same one), visible through the installed-scenario count over a window

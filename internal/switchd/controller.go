@@ -8,6 +8,7 @@ import (
 	"activermt/internal/guard"
 	"activermt/internal/netsim"
 	"activermt/internal/packet"
+	"activermt/internal/policy"
 	"activermt/internal/runtime"
 	"activermt/internal/telemetry"
 )
@@ -25,14 +26,21 @@ type Costs struct {
 }
 
 // DefaultCosts is calibrated so a contended admission lands at one-to-two
-// seconds, matching Figure 8a's shape (table updates dominate).
+// seconds, matching Figure 8a's shape (table updates dominate). The numbers
+// live in internal/policy so a policy engine can re-decide them at runtime.
 func DefaultCosts() Costs {
+	return CostsFrom(policy.DefaultDecisions().Controller)
+}
+
+// CostsFrom converts a policy timing decision into the controller's cost
+// model.
+func CostsFrom(t policy.ControllerTiming) Costs {
 	return Costs{
-		TableOp:         2 * time.Millisecond,
-		DigestLatency:   100 * time.Microsecond,
-		ComputeBase:     5 * time.Millisecond,
-		ComputePerMut:   30 * time.Microsecond,
-		SnapshotTimeout: 500 * time.Millisecond,
+		TableOp:         t.TableOp,
+		DigestLatency:   t.DigestLatency,
+		ComputeBase:     t.ComputeBase,
+		ComputePerMut:   t.ComputePerMut,
+		SnapshotTimeout: t.SnapshotTimeout,
 	}
 }
 
@@ -52,6 +60,7 @@ type ProvisionRecord struct {
 	Readmit      bool // idempotent re-admission after a controller restart
 	Sweep        bool // corruption sweep-and-repair run
 	Evict        bool // guard-driven eviction of a violating tenant
+	Defrag       bool // online defragmentation pass
 	Escalations  int  // realloc notices re-sent during the snapshot window
 	TimedOut     bool // snapshot window ended by timeout, not completion
 }
@@ -89,6 +98,24 @@ type Controller struct {
 	// window of the admission in progress.
 	snapWaiter func(fid uint16)
 
+	// restorePlan carries register images captured by an in-flight
+	// defragmentation migration: fid -> stage -> words. applyPhase writes
+	// them back right after InstallGrant zeroes the granted regions, so a
+	// migrated tenant reactivates with its pre-migration state at the new
+	// offsets. Lost on Crash — the old regions are still installed then, so
+	// recovery sees consistent (unmigrated) state.
+	restorePlan map[uint16]map[int][]uint32
+
+	// noMigrate pins FIDs against defragmentation. Fabric replica sets
+	// require bit-identical placements on every member device; migrating
+	// one member locally would skew the set, so the fabric pins them here.
+	noMigrate map[uint16]bool
+
+	// sweepEvery, when >0, re-arms a periodic SweepAndRepair job; set by
+	// ApplyPolicy from the policy engine's SweepEvery decision.
+	sweepEvery time.Duration
+	sweepArmed bool
+
 	// DigestFilter, when set, drops digests for which it returns true —
 	// the injection point for digest-loss fault scenarios.
 	DigestFilter func(f *packet.Frame) bool
@@ -117,27 +144,36 @@ type Controller struct {
 	QuarantinedBlockCount uint64
 	GuardQuarantines      uint64
 	GuardEvictions        uint64
+
+	// Defragmentation counters.
+	DefragPasses        uint64 // passes run (including no-op passes)
+	DefragMigrations    uint64 // tenants live-migrated
+	DefragBlocksMoved   uint64 // blocks re-homed by those migrations
+	DefragWordsRestored uint64 // register words copied via snapshot->restore
 }
 
 type queued struct {
-	f     *packet.Frame
-	port  int
-	sweep bool
-	evict uint16 // FID to evict (guard escalation)
-	doEv  bool
+	f      *packet.Frame
+	port   int
+	sweep  bool
+	evict  uint16 // FID to evict (guard escalation)
+	doEv   bool
+	defrag bool
+	moves  int // migration budget for a defrag pass
 }
 
 // NewController wires a controller to its switch, runtime, and allocator.
 func NewController(eng *netsim.Engine, sw *Switch, al *alloc.Allocator, costs Costs) *Controller {
 	c := &Controller{
-		eng:     eng,
-		sw:      sw,
-		rt:      sw.Runtime(),
-		al:      al,
-		costs:   costs,
-		clients: make(map[uint16]packet.MAC),
-		alive:   true,
-		Clock:   time.Now,
+		eng:       eng,
+		sw:        sw,
+		rt:        sw.Runtime(),
+		al:        al,
+		costs:     costs,
+		clients:   make(map[uint16]packet.MAC),
+		noMigrate: make(map[uint16]bool),
+		alive:     true,
+		Clock:     time.Now,
 	}
 	sw.SetController(c)
 	return c
@@ -206,11 +242,15 @@ func (c *Controller) Crash() {
 	c.busy = false
 	c.queue = nil
 	c.snapWaiter = nil
+	c.restorePlan = nil
+	c.sweepArmed = false
 	c.clients = make(map[uint16]packet.MAC)
 	if fresh, err := alloc.New(c.al.Config()); err == nil {
 		// The occupancy gauges outlive the books: hand them to the fresh
-		// allocator so a restart resyncs instead of re-registering.
+		// allocator so a restart resyncs instead of re-registering. The
+		// policy tuning survives the crash for the same reason.
 		fresh.SetTelemetry(c.al.Telemetry())
+		fresh.SetTuning(c.al.Tuning())
 		c.al = fresh
 	}
 	c.Crashes++
@@ -308,6 +348,10 @@ func (c *Controller) dispatch(q queued) {
 	}
 	if q.doEv {
 		c.runEviction(q.evict)
+		return
+	}
+	if q.defrag {
+		c.runDefrag(q.moves)
 		return
 	}
 	h := q.f.Active.Header
@@ -703,6 +747,20 @@ func (c *Controller) applyPhase(rec ProvisionRecord, newPl *alloc.Placement, cha
 			// TCAM exhaustion mid-update: surface as failure for the
 			// newcomer but keep existing apps running.
 			continue
+		}
+		// A defrag migration restores the tenant's captured register image
+		// into the freshly granted (and zeroed) regions before reactivation,
+		// so the client never observes lost state at the new offsets.
+		if save, ok := c.restorePlan[pl.FID]; ok {
+			for stage, words := range save {
+				if n, err := c.rt.RestoreRegion(pl.FID, stage, words); err == nil {
+					c.DefragWordsRestored += uint64(n)
+					if c.tel != nil {
+						c.tel.defragWords.Add(uint64(n))
+					}
+				}
+			}
+			delete(c.restorePlan, pl.FID)
 		}
 	}
 	var installErr error

@@ -1,0 +1,131 @@
+package switchd
+
+import (
+	"sort"
+
+	"activermt/internal/alloc"
+	"activermt/internal/policy"
+	"activermt/internal/telemetry"
+)
+
+// Online defragmentation: live migration of a tenant's blocks to lower
+// offsets using the paper's memsync snapshot->restore protocol. A defrag
+// pass is an ordinary serialized control-plane job:
+//
+//	snapshot victim state -> compact the books -> deactivate + realloc
+//	notice -> snapshot window -> InstallGrant (zeroes) -> RestoreRegion
+//	-> reactivate + acks
+//
+// Only the restore step is new; everything from "deactivate" on is the
+// standard reallocation protocol, so clients observe a defrag migration
+// exactly as they observe any neighbor-driven reallocation (new grants, a
+// bumped epoch) — never a torn or stale region.
+
+// ApplyPolicy pushes a policy decision set into the controller: the cost
+// model / snapshot window, the defragmentation budget, and the periodic
+// sweep cadence. Safe to call on every policy evaluation.
+func (c *Controller) ApplyPolicy(d policy.Decisions) {
+	c.costs = CostsFrom(d.Controller)
+	c.sweepEvery = d.SweepEvery
+	c.armSweep()
+}
+
+// armSweep schedules the next periodic sweep if the policy asks for one
+// and none is pending. The continuation dies with the controller (after
+// keys it by life), and Crash clears sweepArmed, so a restarted controller
+// stays quiet until the next ApplyPolicy.
+func (c *Controller) armSweep() {
+	if c.sweepEvery <= 0 || c.sweepArmed || !c.alive {
+		return
+	}
+	c.sweepArmed = true
+	c.after(c.sweepEvery, func() {
+		c.sweepArmed = false
+		c.SweepAndRepair()
+		c.armSweep()
+	})
+}
+
+// PinPlacement excludes fid from defragmentation migration. Fabric replica
+// sets pin their members: a replica's placement must stay bit-identical on
+// every member device, and a local migration would skew it.
+func (c *Controller) PinPlacement(fid uint16) { c.noMigrate[fid] = true }
+
+// UnpinPlacement lifts a migration pin (e.g. after a replica set is torn
+// down).
+func (c *Controller) UnpinPlacement(fid uint16) { delete(c.noMigrate, fid) }
+
+// Defragment queues one defragmentation pass migrating at most maxMoves
+// tenants, serialized with admissions like every other allocation job.
+func (c *Controller) Defragment(maxMoves int) {
+	if !c.alive || maxMoves <= 0 {
+		return
+	}
+	c.queue = append(c.queue, queued{defrag: true, moves: maxMoves})
+	c.pump()
+}
+
+// runDefrag executes one pass (called from the queue).
+func (c *Controller) runDefrag(maxMoves int) {
+	rec := ProvisionRecord{Start: c.eng.Now(), Defrag: true}
+	c.DefragPasses++
+
+	cands := c.al.CompactionCandidates(func(fid uint16) bool { return !c.noMigrate[fid] })
+	affected := map[uint16]bool{}
+	moved := 0
+	for _, fid := range cands {
+		if moved >= maxMoves {
+			break
+		}
+		// Capture the victim's live register image region by region before
+		// the books move. The runtime install is untouched until applyPhase,
+		// so this reads the authoritative pre-migration state (the same
+		// state-extraction path FlagMemSync capsules use).
+		save := map[int][]uint32{}
+		for stage := range c.rt.InstalledRegions(fid) {
+			if words, _, err := c.rt.Snapshot(fid, stage); err == nil {
+				save[stage] = words
+			}
+		}
+		res, ok := c.al.CompactApp(fid)
+		if !ok {
+			continue
+		}
+		moved++
+		c.DefragMigrations++
+		c.DefragBlocksMoved += uint64(res.BlocksMoved)
+		if c.tel != nil {
+			c.tel.defragMoves.Inc()
+			c.tel.defragBlocks.Add(uint64(res.BlocksMoved))
+		}
+		if c.restorePlan == nil {
+			c.restorePlan = make(map[uint16]map[int][]uint32)
+		}
+		c.restorePlan[fid] = save
+		affected[fid] = true
+		for _, pl := range res.Reallocated {
+			affected[pl.FID] = true
+		}
+	}
+	c.telInc(func(t *ctrlTelemetry) *telemetry.Counter { return t.defragPasses })
+	if moved == 0 {
+		rec.End = c.eng.Now()
+		c.record(rec)
+		c.finish()
+		return
+	}
+
+	fids := make([]uint16, 0, len(affected))
+	for fid := range affected {
+		fids = append(fids, fid)
+	}
+	sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+	var changed []*alloc.Placement
+	for _, fid := range fids {
+		if pl, ok := c.al.PlacementFor(fid); ok {
+			changed = append(changed, pl)
+		}
+	}
+	rec.Reallocated = len(changed)
+	c.reallocPhase(rec, nil, changed, false)
+}

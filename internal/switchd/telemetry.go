@@ -26,6 +26,11 @@ type ctrlTelemetry struct {
 	guardQuar      *telemetry.Counter
 	guardEvict     *telemetry.Counter
 	readmissions   *telemetry.Counter
+
+	defragPasses *telemetry.Counter
+	defragMoves  *telemetry.Counter
+	defragBlocks *telemetry.Counter
+	defragWords  *telemetry.Counter
 }
 
 // AttachTelemetry registers the controller's metrics and wires the allocator
@@ -49,6 +54,10 @@ func (c *Controller) AttachTelemetry(reg *telemetry.Registry) {
 		guardQuar:      reg.NewCounter("activermt_ctrl_guard_quarantines_total", "Guard-escalated tenant quarantines applied."),
 		guardEvict:     reg.NewCounter("activermt_ctrl_guard_evictions_total", "Guard-escalated tenant evictions applied."),
 		readmissions:   reg.NewCounter("activermt_ctrl_readmissions_total", "Recovered tenants re-admitted after a controller restart."),
+		defragPasses:   reg.NewCounter("activermt_ctrl_defrag_passes_total", "Online defragmentation passes run."),
+		defragMoves:    reg.NewCounter("activermt_ctrl_defrag_migrations_total", "Tenants live-migrated by defragmentation."),
+		defragBlocks:   reg.NewCounter("activermt_ctrl_defrag_blocks_moved_total", "Blocks re-homed by defragmentation migrations."),
+		defragWords:    reg.NewCounter("activermt_ctrl_defrag_words_restored_total", "Register words copied via snapshot->restore during migration."),
 	}
 	c.tel = t
 	c.al.SetTelemetry(alloc.NewTelemetry(reg))
@@ -65,6 +74,8 @@ func (c *Controller) record(rec ProvisionRecord) {
 	switch {
 	case rec.Evict:
 		kind = "evict"
+	case rec.Defrag:
+		kind = "defrag"
 	case rec.Sweep:
 		kind = "sweep"
 	case rec.Release:

@@ -16,6 +16,7 @@ import (
 	"activermt/internal/guard"
 	"activermt/internal/netsim"
 	"activermt/internal/packet"
+	"activermt/internal/policy"
 	"activermt/internal/rmt"
 	"activermt/internal/runtime"
 	"activermt/internal/switchd"
@@ -152,6 +153,35 @@ func (tb *Testbed) EnableTelemetry() *telemetry.Registry {
 	tb.chaosTel = chaos.NewTelemetry(reg)
 	tb.Tel = reg
 	return reg
+}
+
+// AttachPolicy wires a policy engine over the testbed: a policy.Loop on
+// the simulation clock observes the telemetry registry (enabling telemetry
+// if needed) and applies each decision set to the controller and guard.
+// When the decisions enable defragmentation and the observed fragmentation
+// crosses the trigger, a defrag pass is queued on the controller. Returns
+// the loop (already started); call loop.Stop() to detach.
+func (tb *Testbed) AttachPolicy(eng policy.Engine) *policy.Loop {
+	reg := tb.EnableTelemetry()
+	loop := &policy.Loop{
+		Engine:   eng,
+		Registry: reg,
+		Schedule: tb.Eng.Schedule,
+		Now:      tb.Eng.Now,
+		Apply: func(obs policy.Observation, d policy.Decisions) {
+			tb.Ctrl.ApplyPolicy(d)
+			tb.Ctrl.Allocator().SetTuning(d.Alloc)
+			if tb.Guard != nil {
+				tb.Guard.ApplyThresholds(d.Guard)
+			}
+			if d.Defrag.Enabled && obs.Fragmentation >= d.Defrag.TriggerFrag {
+				tb.Ctrl.Defragment(d.Defrag.MaxMoves)
+			}
+		},
+	}
+	loop.AttachTelemetry(reg)
+	loop.Start()
+	return loop
 }
 
 // System exposes the assembled components to the chaos fault-injection
