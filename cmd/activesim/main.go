@@ -9,6 +9,9 @@
 //	activesim -scenario lb         # Cheetah load balancing across 4 servers
 //	activesim -scenario churn      # Poisson arrivals/departures (Fig 8a)
 //	activesim -scenario defrag     # tenant churn + telemetry-driven migration
+//	activesim -scenario synflood   # SYN-flood detector: half-open counters + alarm scans
+//	activesim -scenario ratelimit  # per-tenant token-bucket enforcement
+//	activesim -scenario hhrecirc   # heavy hitter paying recirculation under a budget
 //
 // Every testbed scenario runs under a policy engine selected with -policy:
 // "static" re-emits the historical constants (bit-identical behavior),
@@ -69,7 +72,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "cache", "cache | multi | lb | churn | defrag")
+	scenario := flag.String("scenario", "cache", "cache | multi | lb | churn | defrag | synflood | ratelimit | hhrecirc")
 	seed := flag.Int64("seed", 1, "workload seed")
 	policyMode := flag.String("policy", "static", "control policy engine: static | adaptive")
 	policyAB := flag.String("policy-ab", "", "run the static-vs-adaptive A/B over the chaos library and write CSV here (restrict with -chaos)")
@@ -80,6 +83,7 @@ func main() {
 	switches := flag.Int("switches", 0, "shorthand for -topology leafspine:(N-1)x1; 0 or 1 keeps the single switch")
 	soakDur := flag.Duration("soak", 0, "run the long-soak invariant harness for this much virtual time (overrides -scenario)")
 	soakCSV := flag.String("soak-csv", "", "with -soak: write per-epoch metrics CSV to this file")
+	soakSecapps := flag.Bool("soak-secapps", false, "with -soak: run the three security-app workload families alongside the cache load")
 	flag.Parse()
 
 	if *policyMode != "static" && *policyMode != "adaptive" {
@@ -95,14 +99,14 @@ func main() {
 	}
 
 	if *soakDur > 0 {
-		if err := runSoak(*seed, *soakDur, *soakCSV, *policyMode); err != nil {
+		if err := runSoak(*seed, *soakDur, *soakCSV, *policyMode, *soakSecapps); err != nil {
 			fmt.Fprintln(os.Stderr, "activesim:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if *soakCSV != "" {
-		fmt.Fprintln(os.Stderr, "activesim: -soak-csv requires -soak")
+	if *soakCSV != "" || *soakSecapps {
+		fmt.Fprintln(os.Stderr, "activesim: -soak-csv and -soak-secapps require -soak")
 		os.Exit(2)
 	}
 
@@ -134,6 +138,12 @@ func main() {
 		err = runFromExperiment("fig8a", *seed)
 	case "lb":
 		err = runLB(*seed)
+	case "synflood":
+		err = runSynFlood(*seed)
+	case "ratelimit":
+		err = runRateLimit(*seed)
+	case "hhrecirc":
+		err = runHHRecirc(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "activesim: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -147,8 +157,8 @@ func main() {
 // runSoak drives the internal/soak harness: a leaf-spine fabric under
 // continuous chaos, tenant churn, and a coherent-cache workload, with
 // invariants checked every virtual epoch. Exits non-zero on any violation.
-func runSoak(seed int64, dur time.Duration, csvPath, policyMode string) error {
-	cfg := soak.Config{Duration: dur, Seed: seed, Policy: policyMode, Progress: func(format string, args ...any) {
+func runSoak(seed int64, dur time.Duration, csvPath, policyMode string, secapps bool) error {
+	cfg := soak.Config{Duration: dur, Seed: seed, Policy: policyMode, Secapps: secapps, Progress: func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)
 	}}
 	if csvPath != "" {
@@ -174,6 +184,11 @@ func runSoak(seed int64, dur time.Duration, csvPath, policyMode string) error {
 	if policyMode == "adaptive" {
 		fmt.Printf("soak: adaptive policy: %d defrag passes, %d migrations, max frag %.3f\n",
 			res.DefragPasses, res.DefragMigrations, res.MaxFragmentation)
+	}
+	if secapps {
+		fmt.Printf("soak: secapps: syn %d sent / %d alarms, rl %d delivered of %d offered, hh %d observed / %d claims (%d deferred)\n",
+			res.SynSent, res.SynAlarms, res.RLDelivered, res.RLOffered,
+			res.HHObserved, res.HHClaims, res.HHDeferred)
 	}
 	if len(res.Violations) > 0 {
 		for _, v := range res.Violations {

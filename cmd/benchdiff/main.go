@@ -89,6 +89,10 @@ func runRebase(path string, trials, packets int) error {
 	fmt.Printf("  defrag      frag %.4f -> %.4f, %d migrations, %d blocks, %d words\n",
 		res.Defrag.FragBefore, res.Defrag.FragAfter,
 		res.Defrag.Migrations, res.Defrag.BlocksMoved, res.Defrag.WordsRestored)
+	fmt.Printf("  secapps     syn p/r %.2f/%.2f, rl %d/%d delivered, hh claims %d (deferred %d, throttled %d)\n",
+		res.Secapps.SynPrecision, res.Secapps.SynRecall,
+		res.Secapps.RLDelivered, res.Secapps.RLOffered,
+		res.Secapps.HHClaims, res.Secapps.HHDeferred, res.Secapps.HHThrottled)
 	return nil
 }
 
@@ -143,6 +147,10 @@ func run(baselinePath string, trials, packets int, tolerance float64, absolute b
 	fmt.Printf("  %-14s baseline %.4f->%.4f (%d migrations)   current %.4f->%.4f (%d migrations, %d blocks)\n",
 		"defrag", base.Defrag.FragBefore, base.Defrag.FragAfter, base.Defrag.Migrations,
 		cur.Defrag.FragBefore, cur.Defrag.FragAfter, cur.Defrag.Migrations, cur.Defrag.BlocksMoved)
+	fmt.Printf("  %-14s baseline p/r %.2f/%.2f claims %d   current p/r %.2f/%.2f claims %d (deferred %d, throttled %d)\n",
+		"secapps", base.Secapps.SynPrecision, base.Secapps.SynRecall, base.Secapps.HHClaims,
+		cur.Secapps.SynPrecision, cur.Secapps.SynRecall,
+		cur.Secapps.HHClaims, cur.Secapps.HHDeferred, cur.Secapps.HHThrottled)
 
 	var failures []string
 	fail := func(format string, args ...any) {
@@ -192,6 +200,28 @@ func run(baselinePath string, trials, packets int, tolerance float64, absolute b
 		if cur.Defrag.FragAfter >= cur.Defrag.FragBefore {
 			fail("defrag did not reduce fragmentation: %.4f -> %.4f",
 				cur.Defrag.FragBefore, cur.Defrag.FragAfter)
+		}
+	}
+	// The secapps series is virtual-time deterministic like defrag, so it
+	// gates on exact quality once a baseline records it: detection must stay
+	// at or above 0.95 precision/recall, enforcement must keep delivering
+	// strictly less than the flooding tenants offer, and the cooperative
+	// recirculation driver must never trip the limiter. A baseline without
+	// the series (pre-secapps) contributes nothing.
+	if base.Secapps.HHClaims > 0 {
+		if cur.Secapps.SynPrecision < 0.95 || cur.Secapps.SynRecall < 0.95 {
+			fail("secapps detection quality fell: precision %.2f recall %.2f (want >= 0.95)",
+				cur.Secapps.SynPrecision, cur.Secapps.SynRecall)
+		}
+		if cur.Secapps.RLDelivered == 0 || cur.Secapps.RLDelivered >= cur.Secapps.RLOffered {
+			fail("secapps rate limiter not enforcing: delivered %d of %d offered",
+				cur.Secapps.RLDelivered, cur.Secapps.RLOffered)
+		}
+		if cur.Secapps.HHClaims == 0 {
+			fail("secapps heavy hitter issued 0 claims (baseline %d)", base.Secapps.HHClaims)
+		}
+		if cur.Secapps.HHThrottled > 0 {
+			fail("secapps heavy hitter tripped the recirculation limiter %d time(s)", cur.Secapps.HHThrottled)
 		}
 	}
 	// A noisy baseline can measure telemetry as faster than bare (delta < 0);

@@ -158,3 +158,16 @@ func maskFor(n int) uint32 {
 	}
 	return m - 1
 }
+
+// Programs returns every exemplar program template in this package, for
+// harnesses that iterate all registered apps (the interpreter-vs-specialized
+// differential suite and the docs catalogue).
+func Programs() []*isa.Program {
+	return []*isa.Program{
+		cacheQueryProg, cachePopulateProg, cachePopulateFwdProg, cacheReadbackProg,
+		lbSelectProg, lbSetupProg, lbRouteProg,
+		memReadProg, memWriteProg,
+		mirrorProg,
+		hhMonitorProg,
+	}
+}

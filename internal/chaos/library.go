@@ -188,6 +188,30 @@ func AdversarialTenant(adv *Adversary, victimFID uint16, seed int64) *Scenario {
 	return s
 }
 
+// SynFloodAttack schedules a bare-SYN flood: every source fires synsEach
+// SYN capsules through the application-provided send hook, interleaved by
+// the scenario PRNG and spaced gap apart starting at startAt. The hook keeps
+// the library decoupled from any one detector implementation — the secapps
+// SYN-flood driver's SynVia is the intended target, so the flood rides the
+// victim application's own capsule path and its half-open counters climb
+// exactly as a real attack would drive them (no ACKs ever follow).
+func SynFloodAttack(send func(src uint32), sources []uint32, synsEach int, startAt, gap time.Duration, seed int64) *Scenario {
+	s := NewScenario("syn-flood", seed)
+	order := make([]uint32, 0, len(sources)*synsEach)
+	for _, src := range sources {
+		for i := 0; i < synsEach; i++ {
+			order = append(order, src)
+		}
+	}
+	rng := s.Rand("interleave")
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for i, src := range order {
+		src := src
+		s.At(startAt+time.Duration(i)*gap, fmt.Sprintf("syn:%#x", src), func(*System) { send(src) })
+	}
+	return s
+}
+
 // CorruptedMemory flips bits in one stage's register SRAM at corruptAt —
 // preferentially inside installed application regions — and runs the
 // controller's sweep-and-repair pass at sweepAt. The sweep scrubs the

@@ -83,6 +83,11 @@ type PipelineBench struct {
 	// virtual-time churn + adaptive-policy migration run, deterministic per
 	// build. All zeros in pre-defrag baselines.
 	Defrag DefragStat `json:"defrag"`
+
+	// Secapps is the security-app quality series (RunSecappsBench):
+	// virtual-time deterministic detection, enforcement, and recirculation
+	// accounting. All zeros in pre-secapps baselines.
+	Secapps SecappsStat `json:"secapps"`
 }
 
 // pipelineCacheProg is the paper's cache query (Listing 1): three memory
@@ -294,6 +299,9 @@ func RunPipelineBench(cfg PipelineBenchConfig) (*PipelineBench, error) {
 		res.Fabric.Speedup = res.Fabric.PPS / res.Single.PPS
 	}
 	if res.Defrag, err = RunDefragBench(1); err != nil {
+		return nil, err
+	}
+	if res.Secapps, err = RunSecappsBench(1); err != nil {
 		return nil, err
 	}
 	return res, nil

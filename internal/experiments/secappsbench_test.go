@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestSecappsBenchDeterministic pins the series' gate contract: perfect
+// detection on disjoint slots, strict enforcement, a binding-but-respected
+// recirculation budget — and bit-identical results on a repeated seed, since
+// the gate in cmd/benchdiff compares exact shape, not a noise band.
+func TestSecappsBenchDeterministic(t *testing.T) {
+	st, err := RunSecappsBench(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SynPrecision < 0.95 || st.SynRecall < 0.95 {
+		t.Errorf("detection quality: precision %.2f recall %.2f", st.SynPrecision, st.SynRecall)
+	}
+	if st.RLDelivered == 0 || st.RLDelivered >= st.RLOffered {
+		t.Errorf("enforcement: delivered %d of %d offered", st.RLDelivered, st.RLOffered)
+	}
+	if st.HHClaims == 0 || st.HHDeferred == 0 {
+		t.Errorf("budget never exercised: claims=%d deferred=%d", st.HHClaims, st.HHDeferred)
+	}
+	if st.HHThrottled != 0 {
+		t.Errorf("limiter tripped %d time(s)", st.HHThrottled)
+	}
+	st2, err := RunSecappsBench(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != st2 {
+		t.Errorf("nondeterministic on one seed:\n  %+v\n  %+v", st, st2)
+	}
+}

@@ -351,6 +351,14 @@ func (g *Guard) RecircThrottled(fid uint16) {
 	g.recordTenant(fid, KindRecircThrottled)
 }
 
+// RecircBudgetRemaining exposes the runtime's remaining recirculation
+// tokens for a FID, so legitimate multi-pass apps can back off before
+// tripping the limiter (a throttle is a ledger entry, and ledger entries
+// escalate — cooperative consumers should never accrue them).
+func (g *Guard) RecircBudgetRemaining(fid uint16) int {
+	return g.rt.RecircBudgetRemaining(fid)
+}
+
 // RevokedDrop implements runtime.GuardHook: counted only, since the ingress
 // gate already charges revoked traffic to its port when the guard is wired
 // into the switch.

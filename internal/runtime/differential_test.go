@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"testing"
 
+	"activermt/internal/apps"
 	"activermt/internal/isa"
 	"activermt/internal/packet"
 	"activermt/internal/rmt"
+	"activermt/internal/secapps"
 )
 
 // Differential testing: a reference interpreter with independently written
@@ -373,6 +375,85 @@ func TestDifferentialSpecializedVsInterpreter(t *testing.T) {
 		if si.Registers.Reads != ss.Registers.Reads || si.Registers.Writes != ss.Registers.Writes ||
 			si.Registers.Faults != ss.Registers.Faults {
 			t.Fatalf("stage %d register counters diverged", s)
+		}
+	}
+}
+
+// TestDifferentialRegisteredApps pins every registered exemplar program —
+// the apps package and the secapps security/measurement suite — to
+// bit-identical interpreter vs. specialized execution. The random fuzzers
+// above explore the instruction space; this suite guarantees the programs
+// we actually ship (including the multi-pass claim arm and the DROP-bearing
+// rate limiter) never diverge between the two paths.
+func TestDifferentialRegisteredApps(t *testing.T) {
+	ri := testRuntime(t) // interpreter oracle
+	rs := testRuntime(t) // specialized
+	ri.SetSpecialization(false)
+
+	resI, resS := NewExecResult(), NewExecResult()
+	sinkI, sinkS := ri.NewExecSink(), rs.NewExecSink()
+	rng := rand.New(rand.NewSource(0x5ECA))
+
+	progs := append(apps.Programs(), secapps.Programs()...)
+	if len(progs) < 12 {
+		t.Fatalf("registered programs = %d, registry looks truncated", len(progs))
+	}
+	for pi, tmpl := range progs {
+		fid := uint16(100 + pi)
+		acc := tmpl.MemoryAccessIndices()
+		lo := uint32((pi % 8) * 512)
+		for _, r := range []*Runtime{ri, rs} {
+			if len(acc) == 0 {
+				r.AdmitStateless(fid)
+				continue
+			}
+			g := Grant{FID: fid}
+			for _, idx := range acc {
+				g.Accesses = append(g.Accesses, AccessGrant{Logical: idx, Lo: lo, Hi: lo + 512})
+			}
+			if _, err := r.InstallGrant(g); err != nil {
+				t.Fatalf("%s: grant: %v", tmpl.Name, err)
+			}
+		}
+		for trial := 0; trial < 200; trial++ {
+			args := [4]uint32{rng.Uint32(), rng.Uint32(), lo + uint32(rng.Intn(600)), rng.Uint32()}
+			var flags uint16
+			if rng.Intn(3) == 0 {
+				flags |= packet.FlagNoShrink
+			}
+			// Each capsule runs twice so both the compile-inline and the
+			// cached-plan entries are exercised.
+			for rep := 0; rep < 2; rep++ {
+				ai := progPacket(fid, tmpl.Clone(), args)
+				as := progPacket(fid, tmpl.Clone(), args)
+				ai.Header.Flags |= flags
+				as.Header.Flags |= flags
+				want := execFast(ri, ai, resI, sinkI)
+				got := execFast(rs, as, resS, sinkS)
+				compareOutputs(t, fmt.Sprintf("%s trial %d rep %d", tmpl.Name, trial, rep), want, got)
+			}
+		}
+	}
+
+	if rs.SpecializedRuns == 0 {
+		t.Fatal("specialized path never ran")
+	}
+	if ri.ProgramsRun != rs.ProgramsRun || ri.Faults != rs.Faults {
+		t.Fatalf("runtime counters diverged: %d/%d vs %d/%d",
+			ri.ProgramsRun, ri.Faults, rs.ProgramsRun, rs.Faults)
+	}
+	di, ds := ri.Device(), rs.Device()
+	if di.PacketsIn != ds.PacketsIn || di.PacketsDropped != ds.PacketsDropped || di.Recirculations != ds.Recirculations {
+		t.Fatalf("device counters diverged: %d/%d/%d vs %d/%d/%d",
+			di.PacketsIn, di.PacketsDropped, di.Recirculations,
+			ds.PacketsIn, ds.PacketsDropped, ds.Recirculations)
+	}
+	for s := 0; s < di.NumStages(); s++ {
+		si, ss := di.Stage(s), ds.Stage(s)
+		if si.Executed != ss.Executed ||
+			si.Registers.Reads != ss.Registers.Reads || si.Registers.Writes != ss.Registers.Writes ||
+			si.Registers.Faults != ss.Registers.Faults {
+			t.Fatalf("stage %d counters diverged", s)
 		}
 	}
 }

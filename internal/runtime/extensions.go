@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -81,6 +82,29 @@ func (r *Runtime) RecircAllowed(fid uint16, progLen int) bool {
 	st.tokens -= extra
 	r.recircMu.Unlock()
 	return true
+}
+
+// RecircBudgetRemaining reports the extra-pass tokens fid has left in its
+// current window, so cooperative recirculation apps (the probabilistic
+// heavy hitter) can defer multi-pass capsules instead of tripping the
+// limiter and landing in the guard's recirc-throttled ledger. The answer is
+// conservative in the caller's favor: a window rollover between this call
+// and admission only refills the bucket, so a capsule sent while
+// remaining >= its extra passes is never throttled (assuming the FID has a
+// single cooperating sender). With the limiter disabled every budget query
+// reports "unlimited".
+func (r *Runtime) RecircBudgetRemaining(fid uint16) int {
+	if r.recirc == nil {
+		return math.MaxInt
+	}
+	now := r.recircNow()
+	r.recircMu.Lock()
+	defer r.recircMu.Unlock()
+	st, ok := r.recirc[fid]
+	if !ok || now-st.windowStart >= r.recircPolicy.Window {
+		return r.recircPolicy.Budget
+	}
+	return st.tokens
 }
 
 // Privilege levels: unprivileged programs may compute and access their own

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -67,6 +68,65 @@ func TestRecircLimiterPerFID(t *testing.T) {
 	}
 	if outs := r.ExecuteProgram(progPacket(2, long.Clone(), [4]uint32{})); outs[0].Dropped {
 		t.Error("fid 2 throttled by fid 1's usage")
+	}
+}
+
+func TestRecircBudgetRemainingBoundary(t *testing.T) {
+	r := testRuntime(t)
+	const fid = 9
+	r.AdmitStateless(fid)
+
+	// Limiter disabled: every query reports unlimited.
+	if got := r.RecircBudgetRemaining(fid); got != math.MaxInt {
+		t.Fatalf("disabled limiter remaining = %d, want MaxInt", got)
+	}
+
+	var now time.Duration
+	r.EnableRecircLimiter(RecircPolicy{Budget: 2, Window: time.Second}, func() time.Duration { return now })
+
+	// No bucket yet: full budget.
+	if got := r.RecircBudgetRemaining(fid); got != 2 {
+		t.Fatalf("fresh FID remaining = %d, want 2", got)
+	}
+
+	// A 25-instruction program costs one extra pass.
+	long := &isa.Program{Name: "long"}
+	for i := 0; i < 24; i++ {
+		long.Instrs = append(long.Instrs, isa.Instruction{Op: isa.OpNop})
+	}
+	long.Instrs = append(long.Instrs, isa.Instruction{Op: isa.OpReturn})
+
+	// remaining == extra is the admissible boundary: both tokens spend
+	// cleanly, then the very next capsule throttles.
+	for want := 1; want >= 0; want-- {
+		if outs := r.ExecuteProgram(progPacket(fid, long.Clone(), [4]uint32{})); outs[0].Dropped {
+			t.Fatalf("capsule with remaining > 0 dropped (want left %d)", want)
+		}
+		if got := r.RecircBudgetRemaining(fid); got != want {
+			t.Fatalf("remaining = %d, want %d", got, want)
+		}
+	}
+	if outs := r.ExecuteProgram(progPacket(fid, long.Clone(), [4]uint32{})); !outs[0].Dropped {
+		t.Fatal("capsule admitted at remaining 0")
+	}
+	if r.RecircThrottled != 1 {
+		t.Fatalf("throttled = %d, want 1", r.RecircThrottled)
+	}
+
+	// A cooperative caller that polls before sending never throttles: the
+	// query itself must not charge the bucket.
+	if got := r.RecircBudgetRemaining(fid); got != 0 {
+		t.Fatalf("remaining after drop = %d, want 0", got)
+	}
+	if got := r.RecircBudgetRemaining(fid); got != 0 {
+		t.Fatalf("second query changed remaining: %d", got)
+	}
+
+	// Exactly one window later the bucket reads full again (>= Window is
+	// the rollover condition in RecircAllowed; the accessor must agree).
+	now += time.Second
+	if got := r.RecircBudgetRemaining(fid); got != 2 {
+		t.Fatalf("remaining after window rollover = %d, want 2", got)
 	}
 }
 

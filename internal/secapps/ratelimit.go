@@ -1,0 +1,155 @@
+package secapps
+
+import (
+	"activermt/internal/client"
+	"activermt/internal/netsim"
+	"activermt/internal/packet"
+	"activermt/internal/rmt"
+	"activermt/internal/telemetry"
+)
+
+// RateLimiter drives the per-tenant token-bucket exemplar: every admitted
+// packet increments the tenant's bucket in switch memory and is dropped in
+// the pipeline once the window spend exceeds Limit; the control plane opens
+// a new window by resetting the bucket (a windowed bucket — the switch has
+// no timers, so the refill cadence lives with the driver).
+//
+// Refills are fire-and-forget: a lost refill only under-admits (the bucket
+// stays spent), never over-admits, so enforcement is an upper bound even
+// under chaos-injected loss.
+type RateLimiter struct {
+	Client *client.Client
+
+	// Limit is the per-window packet budget carried in every check capsule.
+	Limit uint32
+
+	// SnapshotFn reads this FID's region in a physical stage via the switch
+	// control plane.
+	SnapshotFn func(fid uint16, physStage int) ([]uint32, error)
+
+	// Offered counts packets offered per tenant since construction;
+	// OfferedWindow since that tenant's last refill.
+	Offered       map[uint32]uint64
+	OfferedWindow map[uint32]uint64
+
+	Refills uint64
+
+	telOffered *telemetry.Counter
+	telRefills *telemetry.Counter
+}
+
+// NewRateLimiter returns a limiter enforcing the given per-window budget.
+func NewRateLimiter(limit uint32) *RateLimiter {
+	return &RateLimiter{
+		Limit:         limit,
+		Offered:       make(map[uint32]uint64),
+		OfferedWindow: make(map[uint32]uint64),
+	}
+}
+
+// Bind attaches the shim client.
+func (r *RateLimiter) Bind(cl *client.Client) { r.Client = cl }
+
+// WireTelemetry registers the limiter's counters.
+func (r *RateLimiter) WireTelemetry(reg *telemetry.Registry) {
+	r.telOffered = reg.NewCounter("activermt_secapps_rl_offered_total",
+		"Packets offered through the rate limiter")
+	r.telRefills = reg.NewCounter("activermt_secapps_rl_refills_total",
+		"Rate-limiter window refills issued")
+}
+
+// Send offers one packet for the tenant; the switch forwards it to dst only
+// while the tenant's window spend is within Limit.
+func (r *RateLimiter) Send(tenant uint32, payload []byte, dst [6]byte) {
+	r.Offered[tenant]++
+	r.OfferedWindow[tenant]++
+	if r.telOffered != nil {
+		r.telOffered.Inc()
+	}
+	// data[3]=1 marks a data capsule, so delivery sinks can tell admitted
+	// traffic from fire-and-forget refills arriving at the same port.
+	_ = r.Client.SendProgram("check", [4]uint32{tenant, 0, r.Limit, 1}, 0, payload, dst)
+}
+
+// Refill opens a new window for the tenant by resetting its bucket. The
+// reset capsule forwards to dst after the write (any sink will do).
+func (r *RateLimiter) Refill(tenant uint32, dst [6]byte) {
+	r.Refills++
+	r.OfferedWindow[tenant] = 0
+	if r.telRefills != nil {
+		r.telRefills.Inc()
+	}
+	_ = r.Client.SendProgram("refill", [4]uint32{tenant, 0, 0, 0}, 0, nil, dst)
+}
+
+// rlHashIdx is the HASH index in both templates (before the access, so
+// synthesis never moves it).
+const rlHashIdx = 3
+
+// BucketSlot mirrors the switch's bucket slot for a tenant, so harnesses
+// can pick tenant identifiers with distinct buckets.
+func (r *RateLimiter) BucketSlot(tenant uint32) (uint32, bool) {
+	pl := r.Client.Placement()
+	if pl == nil {
+		return 0, false
+	}
+	n := r.Client.Pipeline.NumStages
+	h := rmt.StageHash(rlHashIdx%n, [rmt.NumHashWords]uint32{tenant})
+	size := int(pl.Accesses[0].Range.Hi - pl.Accesses[0].Range.Lo)
+	return h & maskFor(size), true
+}
+
+// SpentInWindow reads the tenant's current bucket spend via the control
+// plane.
+func (r *RateLimiter) SpentInWindow(tenant uint32) (uint32, error) {
+	pl := r.Client.Placement()
+	if pl == nil || r.SnapshotFn == nil {
+		return 0, nil
+	}
+	n := r.Client.Pipeline.NumStages
+	words, err := r.SnapshotFn(r.Client.FID(), pl.Accesses[0].Logical%n)
+	if err != nil {
+		return 0, err
+	}
+	slot, _ := r.BucketSlot(tenant)
+	if int(slot) >= len(words) {
+		return 0, nil
+	}
+	return words[slot], nil
+}
+
+// RLSink is the delivery-side ground truth for enforcement scoring: a
+// netsim endpoint that counts delivered capsules per tenant (read from
+// data[0] of the forwarded capsule, so no payload protocol is needed).
+type RLSink struct {
+	mac  packet.MAC
+	port *netsim.Port
+
+	// Delivered counts capsules that survived the limiter, per tenant.
+	Delivered map[uint32]uint64
+	Total     uint64
+}
+
+// NewRLSink returns a counting sink.
+func NewRLSink(mac packet.MAC) *RLSink {
+	return &RLSink{mac: mac, Delivered: make(map[uint32]uint64)}
+}
+
+// MAC returns the sink address.
+func (s *RLSink) MAC() packet.MAC { return s.mac }
+
+// Attach wires the NIC.
+func (s *RLSink) Attach(p *netsim.Port) { s.port = p }
+
+// Receive implements netsim.Endpoint.
+func (s *RLSink) Receive(frame []byte, port *netsim.Port) {
+	f, err := packet.DecodeFrame(frame)
+	if err != nil || f.Active == nil {
+		return
+	}
+	if f.Active.Args[3] != 1 {
+		return // refill or foreign capsule, not admitted data
+	}
+	s.Delivered[f.Active.Args[0]]++
+	s.Total++
+}

@@ -73,15 +73,26 @@ func histQuantile(hs *telemetry.HistSample, q float64) uint64 {
 }
 
 // csvWriter emits one row per epoch; a nil underlying writer disables it.
-type csvWriter struct{ w io.Writer }
+// The secapps columns are appended only when the security-app families run,
+// so a baseline soak's CSV stays bit-identical to earlier releases.
+type csvWriter struct {
+	w       io.Writer
+	secapps bool
+}
 
-func newCSVWriter(w io.Writer) *csvWriter { return &csvWriter{w: w} }
+func newCSVWriter(w io.Writer, secapps bool) *csvWriter {
+	return &csvWriter{w: w, secapps: secapps}
+}
 
 func (c *csvWriter) header() {
 	if c.w == nil {
 		return
 	}
-	fmt.Fprintln(c.w, "epoch,t_ms,reads_done,writes_acked,hits,lost,p99_ns,degraded,tenants,reroutes,chaos,reconciles,violations,max_frag,defrag_migrations")
+	fmt.Fprint(c.w, "epoch,t_ms,reads_done,writes_acked,hits,lost,p99_ns,degraded,tenants,reroutes,chaos,reconciles,violations,max_frag,defrag_migrations")
+	if c.secapps {
+		fmt.Fprint(c.w, ",syn_sent,syn_alarms,rl_offered,rl_delivered,hh_observed,hh_claims,hh_deferred")
+	}
+	fmt.Fprintln(c.w)
 }
 
 func (c *csvWriter) row(h *harness) {
@@ -101,10 +112,16 @@ func (c *csvWriter) row(h *harness) {
 		}
 		migrations += n.Ctrl.DefragMigrations
 	}
-	fmt.Fprintf(c.w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d\n",
+	fmt.Fprintf(c.w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d",
 		h.res.Epochs, h.f.Eng.Now().Milliseconds(),
 		h.res.ReadsDone, h.res.Acked, h.res.Hits, h.res.Lost,
 		p99.Nanoseconds(), degraded, len(h.tenants),
 		h.res.Reroutes, h.res.ChaosInstalled, h.res.Reconciles,
 		len(h.res.Violations), frag, migrations)
+	if c.secapps {
+		fmt.Fprintf(c.w, ",%d,%d,%d,%d,%d,%d,%d",
+			h.res.SynSent, h.res.SynAlarms, h.res.RLOffered, h.res.RLDelivered,
+			h.res.HHObserved, h.res.HHClaims, h.res.HHDeferred)
+	}
+	fmt.Fprintln(c.w)
 }

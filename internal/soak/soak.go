@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"time"
 
+	"activermt/internal/alloc"
 	"activermt/internal/apps"
 	"activermt/internal/chaos"
 	"activermt/internal/fabric"
@@ -77,6 +78,19 @@ type Config struct {
 	ReadTimeout time.Duration // reads older than this count as lost (default 1s)
 	P99Bound    time.Duration // read-latency p99 ceiling (default 10ms)
 
+	// Secapps enables the three security-app workload families from
+	// internal/secapps — SYN-flood detection (replicated on the two ingress
+	// leaves), per-tenant rate limiting, and the recirculating heavy hitter
+	// — each with its own per-epoch invariant. Default off: the baseline
+	// soak's PRNG streams, placements, and CSV stay bit-identical. Enabling
+	// it also switches the fabric allocators to the least-constrained
+	// policy, the only one whose bounds admit the heavy hitter's two-pass
+	// claim program.
+	Secapps      bool
+	SynThreshold uint32 // SYN-flood alarm backlog (default 16)
+	RLLimit      uint32 // rate-limit window budget per tenant (default 16)
+	RecircBudget int    // heavy-hitter recirculations per epoch window (default 4)
+
 	CSV      io.Writer                        // optional per-epoch CSV rows
 	Progress func(format string, args ...any) // optional progress sink
 }
@@ -118,6 +132,13 @@ func (cfg Config) withDefaults() Config {
 	}
 	defF(&cfg.FragBound, 0.98)
 	def(&cfg.FragEpochs, 5)
+	if cfg.SynThreshold == 0 {
+		cfg.SynThreshold = 16
+	}
+	if cfg.RLLimit == 0 {
+		cfg.RLLimit = 16
+	}
+	def(&cfg.RecircBudget, 4)
 	if cfg.Progress == nil {
 		cfg.Progress = func(string, ...any) {}
 	}
@@ -129,7 +150,7 @@ func (cfg Config) withDefaults() Config {
 type Violation struct {
 	At     time.Duration // virtual time
 	Epoch  int
-	Kind   string // "stale-read" | "guard-audit" | "alloc-books" | "latency-p99" | "frag-bound"
+	Kind   string // "stale-read" | "guard-audit" | "alloc-books" | "latency-p99" | "frag-bound" | "synflood-miss" | "ratelimit-enforce" | "recirc-budget"
 	Detail string
 	Trace  []string // recent fault/recovery events, oldest first
 }
@@ -170,6 +191,15 @@ type Result struct {
 	DefragPasses     uint64  // defragmentation passes run across all nodes
 	DefragMigrations uint64  // tenants live-migrated by those passes
 	MaxFragmentation float64 // worst per-node fragmentation seen at an epoch edge
+
+	// Security-app workload counters, zero unless Config.Secapps.
+	SynSent     uint64 // SYN capsules issued (benign + attack)
+	SynAlarms   uint64 // distinct sources the detector alarmed
+	RLOffered   uint64 // rate-limited data capsules offered
+	RLDelivered uint64 // rate-limited data capsules the sink received
+	HHObserved  uint64 // heavy-hitter key occurrences streamed
+	HHClaims    uint64 // claim capsules issued (one recirculation each)
+	HHDeferred  uint64 // claims deferred for lack of recirculation budget
 
 	P99     time.Duration
 	HitRate float64
@@ -230,6 +260,8 @@ type harness struct {
 
 	engines  map[string]*policy.Adaptive // per-node engines; nil in static mode
 	fragOver map[string]int              // consecutive epochs over FragBound, per node
+
+	sec *secState // security-app families; nil unless Config.Secapps
 }
 
 const (
@@ -246,6 +278,11 @@ func newHarness(cfg Config) (*harness, error) {
 	// (spills, rejections, RetryUnplaced work) at soak-sized demands.
 	fcfg.RMT.StageWords = 96 * 256
 	fcfg.Alloc.StageWords = 96 * 256
+	if cfg.Secapps {
+		// The heavy hitter's claim arm is a two-pass program; only the
+		// least-constrained policy's bounds admit multi-pass placements.
+		fcfg.Alloc.Policy = alloc.LeastConstrained
+	}
 	f, err := fabric.New(fcfg)
 	if err != nil {
 		return nil, err
@@ -313,15 +350,21 @@ func newHarness(cfg Config) (*harness, error) {
 	if err := h.warmKeys(); err != nil {
 		return nil, err
 	}
+	if cfg.Secapps {
+		if err := h.initSecapps(); err != nil {
+			return nil, err
+		}
+	}
 	h.hm.Start()
 	return h, nil
 }
 
 func (h *harness) run() (*Result, error) {
 	eng := h.f.Eng
-	h.csv = newCSVWriter(h.cfg.CSV)
+	h.csv = newCSVWriter(h.cfg.CSV, h.cfg.Secapps)
 	h.csv.header()
 	h.startPumps()
+	h.startSecappsPumps()
 	end := eng.Now() + h.cfg.Duration
 
 	for eng.Now() < end && h.failed == nil {
@@ -337,6 +380,7 @@ func (h *harness) run() (*Result, error) {
 		h.reconcileDeadSpines()
 		h.maybeRepair()
 		h.applyPolicy()
+		h.secappsEpoch()
 
 		h.expireReads()
 		h.checkInvariants()
@@ -381,6 +425,10 @@ func (h *harness) checkInvariants() {
 	if name, frag, bad := h.fragSweep(); bad {
 		fail("frag-bound", fmt.Sprintf("%s: fragmentation %.3f above %.3f for %d consecutive epochs",
 			name, frag, h.cfg.FragBound, h.cfg.FragEpochs))
+		return
+	}
+	if kind, detail, bad := h.secappsInvariants(); bad {
+		fail(kind, detail)
 		return
 	}
 	if p99, n := h.readP99(); n >= 100 && p99 > h.cfg.P99Bound {

@@ -92,6 +92,72 @@ func TestSoakAdaptivePolicy(t *testing.T) {
 		res.Epochs, res.DefragPasses, res.DefragMigrations, res.MaxFragmentation)
 }
 
+// TestSoakSecapps runs the smoke soak with the three security-app workload
+// families riding alongside the cache/tenant/chaos load: the replicated
+// SYN-flood detector, the per-tenant rate limiter, and the recirculating
+// heavy hitter under an armed recirculation budget. The run must stay
+// invariant-clean — including the families' own per-epoch invariants
+// (synflood-miss, ratelimit-enforce, recirc-budget) — and every family must
+// show evidence of having actually engaged, including the budget pressure
+// path (claims deferred) and the enforcement path (deliveries strictly below
+// offered load).
+func TestSoakSecapps(t *testing.T) {
+	var csv bytes.Buffer
+	res, err := Run(Config{
+		Duration: 30 * time.Second,
+		Seed:     7,
+		Secapps:  true,
+		CSV:      &csv,
+		Progress: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violation: %v", v)
+		for _, line := range v.Trace {
+			t.Logf("  trace: %s", line)
+		}
+	}
+	if res.ReadsDone == 0 || res.Acked == 0 {
+		t.Fatalf("baseline workload did not run: %d reads, %d acked writes", res.ReadsDone, res.Acked)
+	}
+	if res.SynSent == 0 {
+		t.Fatal("no SYN capsules sent")
+	}
+	if res.SynAlarms == 0 {
+		t.Fatal("no SYN-flood alarms raised — attackers never detected")
+	}
+	if res.RLOffered == 0 || res.RLDelivered == 0 {
+		t.Fatalf("rate-limit family idle: offered=%d delivered=%d", res.RLOffered, res.RLDelivered)
+	}
+	if res.RLDelivered >= res.RLOffered {
+		t.Fatalf("rate limiter never dropped: delivered %d of %d offered", res.RLDelivered, res.RLOffered)
+	}
+	if res.HHObserved == 0 || res.HHClaims == 0 {
+		t.Fatalf("heavy hitter idle: observed=%d claims=%d", res.HHObserved, res.HHClaims)
+	}
+	if res.HHDeferred == 0 {
+		t.Fatal("no claims deferred — the recirculation budget was never binding")
+	}
+	if !strings.Contains(csv.String(), "hh_deferred") {
+		t.Fatal("CSV missing secapps columns")
+	}
+	t.Logf("secapps soak: %d epochs, syn=%d alarms=%d, rl=%d/%d, hh obs=%d claims=%d deferred=%d",
+		res.Epochs, res.SynSent, res.SynAlarms, res.RLDelivered, res.RLOffered,
+		res.HHObserved, res.HHClaims, res.HHDeferred)
+}
+
+// TestSoakBaselineCSVUnchanged pins the baseline CSV schema: with Secapps
+// off, the header must not carry the security-app columns.
+func TestSoakBaselineCSVUnchanged(t *testing.T) {
+	var csv bytes.Buffer
+	newCSVWriter(&csv, false).header()
+	if strings.Contains(csv.String(), "syn_") || strings.Contains(csv.String(), "hh_") {
+		t.Fatalf("baseline CSV header grew secapps columns: %s", csv.String())
+	}
+}
+
 // TestSoakPolicyValidation rejects unknown engines up front.
 func TestSoakPolicyValidation(t *testing.T) {
 	if _, err := Run(Config{Duration: time.Second, Policy: "bogus"}); err == nil {
