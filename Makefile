@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench benchdiff bench-baseline
+.PHONY: build test race bench benchdiff bench-baseline bench-multicore
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,9 @@ benchdiff:
 # (run on a quiet machine, then commit BENCH_pipeline.json).
 bench-baseline:
 	$(GO) run ./cmd/benchdiff -rebase -trials 5
+
+# Multi-core throughput run: the full harness (including the multicore
+# series and its scaling-efficiency readout) under a 4-thread scheduler.
+# Meaningful scaling numbers need >= 4 real CPUs; see docs/architecture.md.
+bench-multicore:
+	GOMAXPROCS=4 $(GO) run ./cmd/activebench -lanes 8 -packets 500000 -bench-out bench-multicore.json

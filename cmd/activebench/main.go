@@ -149,6 +149,15 @@ func runPipelineBench(n, packets int, path, telAddr string) error {
 		fmt.Printf("   %-12s %12.0f pps   %.2fx vs single\n",
 			fmt.Sprintf("lanes=%d", lr.Lanes), lr.PPS, lr.Speedup)
 	}
+	if mc := res.Multicore; mc != nil {
+		fmt.Printf("   multicore series (GOMAXPROCS=%d, numcpu=%d):\n", mc.GoMaxProcs, mc.NumCPU)
+		for _, lr := range mc.Lanes {
+			fmt.Printf("   %-12s %12.0f pps   %.2fx vs 1 lane (%.0f pps/lane)\n",
+				fmt.Sprintf("mc lanes=%d", lr.Lanes), lr.PPS, lr.SpeedupVs1, lr.PerLanePPS)
+		}
+		fmt.Printf("   %-12s %12.2f       (speedup per lane at the 4-lane point)\n",
+			"scaling eff", mc.ScalingEfficiency)
+	}
 	if res.Fabric.PPS > 0 {
 		fmt.Printf("   %-12s %12.0f rtts  %.4fx vs single (%d-switch leaf-spine, end to end)\n",
 			"fabric", res.Fabric.PPS, res.Fabric.Speedup, res.Fabric.Lanes)

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	gort "runtime"
+)
+
+// The multi-core series: the same lane harness as the single-core `lanes`
+// series, but run under a multi-threaded scheduler (GOMAXPROCS raised for
+// the duration of the series and restored after) so the SPSC rings and
+// per-lane scratch state actually get separate cores to scale across.
+// Recorded into BENCH_pipeline.json beside the single-core numbers — honest
+// either way: NumCPU is recorded with the series, and benchdiff's scaling
+// gate only binds when the host really has the cores (see cmd/benchdiff).
+
+// MulticoreRate is one measured lane count of the multi-core series.
+type MulticoreRate struct {
+	Lanes      int     `json:"lanes"`
+	Packets    int     `json:"packets"`
+	Seconds    float64 `json:"seconds"`
+	PPS        float64 `json:"pps"`
+	PerLanePPS float64 `json:"per_lane_pps"`
+	SpeedupVs1 float64 `json:"speedup_vs_1lane"`
+}
+
+// MulticoreBench is the multi-core lane-scaling series. ScalingEfficiency
+// is speedup-per-lane at the 4-lane point (falling back to the largest
+// measured count when 4 lanes weren't measured): 1.0 is perfectly linear.
+type MulticoreBench struct {
+	GoMaxProcs        int             `json:"gomaxprocs"`
+	NumCPU            int             `json:"numcpu"`
+	Lanes             []MulticoreRate `json:"lanes"`
+	ScalingEfficiency float64         `json:"scaling_efficiency"`
+}
+
+// SpeedupAtLanes returns the measured speedup-vs-1-lane at the given lane
+// count, or 0 when that count wasn't measured.
+func (m *MulticoreBench) SpeedupAtLanes(n int) float64 {
+	for _, lr := range m.Lanes {
+		if lr.Lanes == n {
+			return lr.SpeedupVs1
+		}
+	}
+	return 0
+}
+
+// multicoreProcs picks the scheduler width for the series: every core up to
+// 8, with a floor of 4 so the committed series always records a genuinely
+// multi-threaded schedule (Go permits GOMAXPROCS beyond NumCPU; on a
+// smaller host the lanes time-slice and NumCPU says so).
+func multicoreProcs() int {
+	n := gort.NumCPU()
+	if n > 8 {
+		n = 8
+	}
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// RunMulticoreBench measures lane scaling under a multi-threaded scheduler:
+// lane counts 1, 2, 4 (and 8 when the scheduler is 8 wide) over the same
+// workload and dispatch loop as the single-core lanes series.
+func RunMulticoreBench(cfg PipelineBenchConfig) (*MulticoreBench, error) {
+	procs := multicoreProcs()
+	counts := []int{1, 2, 4}
+	if procs >= 8 {
+		counts = append(counts, 8)
+	}
+
+	prev := gort.GOMAXPROCS(procs)
+	defer gort.GOMAXPROCS(prev)
+
+	res := &MulticoreBench{GoMaxProcs: procs, NumCPU: gort.NumCPU()}
+	for _, n := range counts {
+		lr, err := measureLaneRun(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Lanes = append(res.Lanes, MulticoreRate{
+			Lanes:      n,
+			Packets:    lr.Packets,
+			Seconds:    lr.Seconds,
+			PPS:        lr.PPS,
+			PerLanePPS: lr.PPS / float64(n),
+		})
+	}
+	base := res.Lanes[0].PPS
+	for i := range res.Lanes {
+		res.Lanes[i].SpeedupVs1 = res.Lanes[i].PPS / base
+	}
+	eff := res.Lanes[len(res.Lanes)-1]
+	if s := res.SpeedupAtLanes(4); s > 0 {
+		res.ScalingEfficiency = s / 4
+	} else {
+		res.ScalingEfficiency = eff.SpeedupVs1 / float64(eff.Lanes)
+	}
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	gort "runtime"
+	"testing"
+	"time"
+
+	"activermt/internal/netsim"
+	"activermt/internal/packet"
+)
+
+// TestMulticoreBenchSmoke runs a tiny multi-core series and checks its
+// shape: a multi-threaded schedule, a 1-lane anchor at speedup 1, positive
+// rates everywhere, and GOMAXPROCS restored afterwards. Rates themselves are
+// machine-dependent and left to benchdiff.
+func TestMulticoreBenchSmoke(t *testing.T) {
+	before := gort.GOMAXPROCS(0)
+	mc, err := RunMulticoreBench(PipelineBenchConfig{Tenants: 4, Packets: 20_000, Ring: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := gort.GOMAXPROCS(0); after != before {
+		t.Fatalf("GOMAXPROCS not restored: %d -> %d", before, after)
+	}
+	if mc.GoMaxProcs < 2 {
+		t.Fatalf("gomaxprocs = %d, want a multi-threaded schedule", mc.GoMaxProcs)
+	}
+	if mc.NumCPU != gort.NumCPU() {
+		t.Fatalf("numcpu recorded %d, want %d", mc.NumCPU, gort.NumCPU())
+	}
+	if len(mc.Lanes) < 3 {
+		t.Fatalf("measured %d lane counts, want >= 3 (1/2/4)", len(mc.Lanes))
+	}
+	if mc.Lanes[0].Lanes != 1 || mc.Lanes[0].SpeedupVs1 != 1 {
+		t.Fatalf("1-lane anchor wrong: %+v", mc.Lanes[0])
+	}
+	for _, lr := range mc.Lanes {
+		if lr.PPS <= 0 || lr.Seconds <= 0 || lr.PerLanePPS <= 0 {
+			t.Fatalf("degenerate rate: %+v", lr)
+		}
+	}
+	if mc.ScalingEfficiency <= 0 {
+		t.Fatalf("scaling efficiency = %v, want > 0", mc.ScalingEfficiency)
+	}
+	if s := mc.SpeedupAtLanes(4); s <= 0 {
+		t.Fatalf("4-lane speedup missing (lanes: %+v)", mc.Lanes)
+	}
+}
+
+// TestTelemetryDeltaNonNegative: the telemetry overhead is a one-sided
+// budget; when the instrumented run is noise-faster than the baseline the
+// recorded delta must clamp to zero, never go negative.
+func TestTelemetryDeltaNonNegative(t *testing.T) {
+	res, err := RunPipelineBench(PipelineBenchConfig{
+		Tenants: 2, Packets: 10_000, Ring: 16, Lanes: []int{1},
+		FabricPackets: -1, MulticorePackets: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TelemetryDelta < 0 {
+		t.Fatalf("telemetry_delta_pct = %v, want >= 0 (one-sided budget)", res.TelemetryDelta)
+	}
+}
+
+// laneBurstSink decodes coalesced frames and feeds the capsules straight
+// into the lane rings — the NIC-to-dataplane ingress path: burst in, batch
+// slab out, no per-frame hand-off.
+type laneBurstSink struct {
+	lanes interface {
+		Dispatch(a *packet.Active, flowHash uint32)
+	}
+	decoded uint64
+	errs    int
+}
+
+func (s *laneBurstSink) ReceiveBurst(frames [][]byte, port *netsim.Port) {
+	for _, f := range frames {
+		a, err := packet.Decode(f)
+		if err != nil {
+			s.errs++
+			continue
+		}
+		s.lanes.Dispatch(a, uint32(s.decoded))
+		s.decoded++
+	}
+}
+
+type quietHost struct{}
+
+func (quietHost) Receive(frame []byte, port *netsim.Port) {}
+
+// TestCoalescedIngressFeedsLanes wires the full ingress chain: encoded
+// capsules over a netsim link, RX burst coalescing, per-burst decode, and
+// zero-copy dispatch into the multi-lane dataplane. Every frame must execute
+// exactly once with no faults.
+func TestCoalescedIngressFeedsLanes(t *testing.T) {
+	sys, ring, err := BuildPacketPathWorkload(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes, err := sys.RT.NewLanes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := netsim.NewEngine()
+	sink := &laneBurstSink{lanes: lanes}
+	coal := netsim.NewCoalescer(eng, sink, 16, 5*time.Microsecond)
+	host, _ := netsim.Connect(eng, quietHost{}, 0, coal, 0, time.Microsecond, 1e9)
+
+	const frames = 200
+	for i := 0; i < frames; i++ {
+		wire, err := ring[i%len(ring)].Encode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host.Send(wire)
+	}
+	eng.Run()
+	coal.Flush() // end-of-stream drain of any partial train
+	lanes.Stop()
+
+	if sink.errs != 0 {
+		t.Fatalf("%d frames failed to decode", sink.errs)
+	}
+	if sink.decoded != frames {
+		t.Fatalf("decoded %d frames, want %d", sink.decoded, frames)
+	}
+	if coal.Bursts < 2 {
+		t.Fatalf("bursts = %d, want coalescing to have happened", coal.Bursts)
+	}
+	if got := sys.RT.ProgramsRun; got != frames {
+		t.Fatalf("programs run = %d, want %d", got, frames)
+	}
+	if sys.RT.Faults != 0 {
+		t.Fatalf("faults = %d, want 0", sys.RT.Faults)
+	}
+}

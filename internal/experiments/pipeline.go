@@ -34,6 +34,10 @@ type PipelineBenchConfig struct {
 	// series.
 	FabricPackets int
 
+	// MulticorePackets sizes the multi-core lane-scaling series (default
+	// Packets). Negative skips the series.
+	MulticorePackets int
+
 	// Registry, when non-nil, is attached for the telemetry-enabled run
 	// instead of a private one — activebench passes the registry it serves
 	// over HTTP so a live scrape observes the measured run.
@@ -70,6 +74,10 @@ type PipelineBench struct {
 	SingleTelemetry LaneRate   `json:"single_telemetry"`
 	TelemetryDelta  float64    `json:"telemetry_delta_pct"`
 	Lanes           []LaneRate `json:"lanes"`
+
+	// Multicore is the lane-scaling series measured under a multi-threaded
+	// scheduler (see RunMulticoreBench). Nil in pre-multicore baselines.
+	Multicore *MulticoreBench `json:"multicore,omitempty"`
 
 	// Fabric is the leaf-spine end-to-end series (RunFabricBench): GET
 	// round trips per wall second through a 2x1 fabric. Its Speedup field
@@ -166,6 +174,39 @@ func BuildPacketPathWorkload(tenants, ring int) (*core.System, []*packet.Active,
 	return buildPipelineWorkload(PipelineBenchConfig{Tenants: tenants, Ring: ring})
 }
 
+// measureLaneRun measures one lane count: fresh workload, warm-up pass,
+// then the timed dispatch of cfg.Packets through the SPSC rings (Stop —
+// which drains — is inside the window). Shared by the single-core lanes
+// series and the multi-core series; Speedup is left for the caller to fill
+// against its own baseline.
+func measureLaneRun(cfg PipelineBenchConfig, n int) (LaneRate, error) {
+	sys, ring, err := buildPipelineWorkload(cfg)
+	if err != nil {
+		return LaneRate{}, err
+	}
+	ln, err := sys.RT.NewLanes(n)
+	if err != nil {
+		return LaneRate{}, err
+	}
+	// Warm-up pass.
+	for i := 0; i < len(ring); i++ {
+		ln.Dispatch(ring[i], uint32(i))
+	}
+	ln.Quiesce()
+	start := time.Now()
+	for i := 0; i < cfg.Packets; i++ {
+		ln.Dispatch(ring[i%len(ring)], uint32(i))
+	}
+	ln.Stop()
+	el := time.Since(start)
+	return LaneRate{
+		Lanes:   n,
+		Packets: cfg.Packets,
+		Seconds: el.Seconds(),
+		PPS:     float64(cfg.Packets) / el.Seconds(),
+	}, nil
+}
+
 // RunPipelineBench measures the single-threaded fast path and each requested
 // lane count over the same pre-built capsule stream.
 func RunPipelineBench(cfg PipelineBenchConfig) (*PipelineBench, error) {
@@ -258,34 +299,31 @@ func RunPipelineBench(cfg PipelineBenchConfig) (*PipelineBench, error) {
 	res.Batch.Speedup = res.Batch.PPS / res.Single.PPS
 	res.SingleTelemetry.Speedup = res.SingleTelemetry.PPS / res.Single.PPS
 	res.TelemetryDelta = (res.Single.PPS/res.SingleTelemetry.PPS - 1) * 100
+	// One-sided budget: attaching telemetry cannot make the path faster, so
+	// a negative delta is host noise, not a property of the build. Clamp at
+	// zero so the committed baseline and the ≤10% gate both read "within
+	// noise" instead of a spurious negative overhead.
+	if res.TelemetryDelta < 0 {
+		res.TelemetryDelta = 0
+	}
 
 	for _, n := range cfg.Lanes {
-		sys, ring, err := buildPipelineWorkload(cfg)
+		lr, err := measureLaneRun(cfg, n)
 		if err != nil {
 			return nil, err
 		}
-		ln, err := sys.RT.NewLanes(n)
-		if err != nil {
+		lr.Speedup = lr.PPS / res.Single.PPS
+		res.Lanes = append(res.Lanes, lr)
+	}
+
+	if cfg.MulticorePackets >= 0 {
+		mcCfg := cfg
+		if cfg.MulticorePackets > 0 {
+			mcCfg.Packets = cfg.MulticorePackets
+		}
+		if res.Multicore, err = RunMulticoreBench(mcCfg); err != nil {
 			return nil, err
 		}
-		// Warm-up pass.
-		for i := 0; i < len(ring); i++ {
-			ln.Dispatch(ring[i], uint32(i))
-		}
-		ln.Quiesce()
-		start := time.Now()
-		for i := 0; i < cfg.Packets; i++ {
-			ln.Dispatch(ring[i%len(ring)], uint32(i))
-		}
-		ln.Stop()
-		el := time.Since(start)
-		res.Lanes = append(res.Lanes, LaneRate{
-			Lanes:   n,
-			Packets: cfg.Packets,
-			Seconds: el.Seconds(),
-			PPS:     float64(cfg.Packets) / el.Seconds(),
-			Speedup: (float64(cfg.Packets) / el.Seconds()) / res.Single.PPS,
-		})
 	}
 
 	if cfg.FabricPackets >= 0 {

@@ -1,0 +1,98 @@
+package netsim
+
+import "time"
+
+// BurstEndpoint receives frames a burst at a time — the software analogue of
+// a DPDK rx_burst poll or a NIC raising one coalesced interrupt for a train
+// of arrivals. The frames slice is only valid for the duration of the call;
+// the receiver must consume (or copy) before returning.
+type BurstEndpoint interface {
+	ReceiveBurst(frames [][]byte, port *Port)
+}
+
+// Coalescer adapts a per-frame Port delivery stream into bursts: frames
+// accumulate in a reused slab until either the burst size is reached or the
+// coalescing timer (armed at the first frame of a train) fires, NIC
+// interrupt-moderation style. Feeding a multi-lane dataplane through a
+// Coalescer means the decode→Dispatch loop runs once per burst instead of
+// once per frame, and the dispatcher's batch slabs fill in long runs — the
+// ingress half of the zero-copy hand-off into runtime.Lanes.
+//
+// Deterministic like everything in netsim: flush timing comes from the
+// event engine's virtual clock.
+type Coalescer struct {
+	eng     *Engine
+	sink    BurstEndpoint
+	burst   int
+	timeout time.Duration
+
+	buf     [][]byte
+	port    *Port // port of the current train (frames of one train share a port)
+	timerGn uint64
+
+	// Counters for tests and telemetry.
+	Bursts       uint64 // bursts delivered
+	Frames       uint64 // frames delivered
+	SizeFlushes  uint64 // bursts flushed because they filled
+	TimerFlushes uint64 // bursts flushed by the coalescing timer
+}
+
+// DefaultBurst matches the dataplane's dispatch batch: a full burst fills a
+// lane slab without a partial flush.
+const DefaultBurst = 32
+
+// NewCoalescer returns a Coalescer delivering bursts of at most burst frames
+// to sink, flushing a partial train after timeout. A timeout of zero flushes
+// only on full bursts and explicit Flush calls.
+func NewCoalescer(eng *Engine, sink BurstEndpoint, burst int, timeout time.Duration) *Coalescer {
+	if burst < 1 {
+		burst = DefaultBurst
+	}
+	return &Coalescer{
+		eng:     eng,
+		sink:    sink,
+		burst:   burst,
+		timeout: timeout,
+		buf:     make([][]byte, 0, burst),
+	}
+}
+
+// Receive implements Endpoint: attach the Coalescer where the per-frame
+// receiver used to sit.
+func (c *Coalescer) Receive(frame []byte, port *Port) {
+	if len(c.buf) == 0 {
+		c.port = port
+		if c.timeout > 0 {
+			// Arm the moderation timer for this train. The generation guard
+			// voids stale timers from trains already flushed by size.
+			gen := c.timerGn
+			c.eng.Schedule(c.timeout, func() {
+				if c.timerGn == gen && len(c.buf) > 0 {
+					c.TimerFlushes++
+					c.flush()
+				}
+			})
+		}
+	}
+	c.buf = append(c.buf, frame)
+	if len(c.buf) >= c.burst {
+		c.SizeFlushes++
+		c.flush()
+	}
+}
+
+// Flush delivers any buffered partial burst immediately (end-of-stream
+// drain; tests and shutdown paths).
+func (c *Coalescer) Flush() {
+	if len(c.buf) > 0 {
+		c.flush()
+	}
+}
+
+func (c *Coalescer) flush() {
+	c.timerGn++
+	c.Bursts++
+	c.Frames += uint64(len(c.buf))
+	c.sink.ReceiveBurst(c.buf, c.port)
+	c.buf = c.buf[:0]
+}

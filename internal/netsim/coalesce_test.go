@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+type burstRecorder struct {
+	bursts [][]int // lengths recorded per burst; frame payloads as ints
+	frames int
+}
+
+func (b *burstRecorder) ReceiveBurst(frames [][]byte, port *Port) {
+	sizes := make([]int, 0, len(frames))
+	for _, f := range frames {
+		sizes = append(sizes, int(f[0]))
+	}
+	b.bursts = append(b.bursts, sizes)
+	b.frames += len(frames)
+}
+
+type silentEndpoint struct{}
+
+func (silentEndpoint) Receive(frame []byte, port *Port) {}
+
+// TestCoalescerSizeAndTimerFlush drives a long back-to-back train (flushes
+// by size) followed by a short straggler train (flushes by timer) and checks
+// burst boundaries, frame order, and the flush-cause counters.
+func TestCoalescerSizeAndTimerFlush(t *testing.T) {
+	eng := NewEngine()
+	rec := &burstRecorder{}
+	c := NewCoalescer(eng, rec, 4, 10*time.Microsecond)
+
+	sender := silentEndpoint{}
+	pa, _ := Connect(eng, sender, 0, c, 0, time.Microsecond, 1e9)
+
+	// 10 back-to-back frames: two full bursts of 4, then a straggler pair
+	// that only the timer can flush.
+	for i := 0; i < 10; i++ {
+		pa.Send([]byte{byte(i)})
+	}
+	eng.Run()
+
+	if rec.frames != 10 {
+		t.Fatalf("delivered %d frames, want 10", rec.frames)
+	}
+	if len(rec.bursts) != 3 {
+		t.Fatalf("bursts = %d (%v), want 3", len(rec.bursts), rec.bursts)
+	}
+	if len(rec.bursts[0]) != 4 || len(rec.bursts[1]) != 4 || len(rec.bursts[2]) != 2 {
+		t.Fatalf("burst sizes %v, want [4 4 2]", rec.bursts)
+	}
+	want := 0
+	for _, b := range rec.bursts {
+		for _, v := range b {
+			if v != want {
+				t.Fatalf("frame order broken: got %d, want %d (bursts %v)", v, want, rec.bursts)
+			}
+			want++
+		}
+	}
+	if c.SizeFlushes != 2 || c.TimerFlushes != 1 {
+		t.Fatalf("flush causes: size=%d timer=%d, want 2/1", c.SizeFlushes, c.TimerFlushes)
+	}
+}
+
+// TestCoalescerExplicitFlush checks the end-of-stream drain path with the
+// timer disabled: a partial train stays buffered until Flush.
+func TestCoalescerExplicitFlush(t *testing.T) {
+	eng := NewEngine()
+	rec := &burstRecorder{}
+	c := NewCoalescer(eng, rec, 8, 0)
+
+	sender := silentEndpoint{}
+	pa, _ := Connect(eng, sender, 0, c, 0, time.Microsecond, 0)
+	for i := 0; i < 3; i++ {
+		pa.Send([]byte{byte(i)})
+	}
+	eng.Run()
+	if len(rec.bursts) != 0 {
+		t.Fatalf("partial train flushed without timer or Flush: %v", rec.bursts)
+	}
+	c.Flush()
+	if rec.frames != 3 || len(rec.bursts) != 1 {
+		t.Fatalf("after Flush: frames=%d bursts=%d, want 3/1", rec.frames, len(rec.bursts))
+	}
+	if c.Bursts != 1 || c.Frames != 3 {
+		t.Fatalf("counters: bursts=%d frames=%d, want 1/3", c.Bursts, c.Frames)
+	}
+}

@@ -72,11 +72,69 @@ func (s *ExecStats) Merge(o *ExecStats) {
 }
 
 // FlushInto drains the sink into the device's legacy counter fields (device
-// totals, per-stage Executed, register-array access counters) and resets it.
-// Callers must hold exclusive access to the device's counters: the compat
-// Exec path (single-threaded by construction) or a lane merge after joining
-// the worker goroutines.
+// totals, per-stage Executed, register-array access counters), mirroring
+// into the device's telemetry metrics when attached, and resets it. Callers
+// must hold exclusive access to the device's counters: the compat Exec path
+// (single-threaded by construction) or a lane merge after a quiescent drain
+// or worker join.
 func (s *ExecStats) FlushInto(d *Device) {
+	s.flushTel(d)
+	s.FlushLegacyInto(d)
+}
+
+// FlushTelemetryInto mirrors the sink into the device's telemetry metrics
+// only and moves the drained counts into carry for a later legacy merge.
+// The telemetry metrics are sharded atomics, so lane workers may call this
+// mid-stream; the legacy device fields are untouched.
+func (s *ExecStats) FlushTelemetryInto(d *Device, carry *ExecStats) {
+	s.flushTel(d)
+	carry.Merge(s)
+	s.Reset()
+}
+
+// flushTel mirrors the counters into the device's telemetry metrics (when
+// attached) and drains the latency accumulator; the plain counters are left
+// intact for the legacy merge. Zero deltas are skipped so a per-packet
+// flush costs a handful of atomic adds.
+func (s *ExecStats) flushTel(d *Device) {
+	t := d.tel
+	if t == nil {
+		return
+	}
+	if s.PacketsIn != 0 {
+		t.PacketsIn.Add(s.PacketsIn)
+	}
+	if s.PacketsDropped != 0 {
+		t.PacketsDropped.Add(s.PacketsDropped)
+	}
+	if s.Recirculations != 0 {
+		t.Recirculations.Add(s.Recirculations)
+	}
+	for i := range s.StageExecuted {
+		if i >= len(t.StageExecuted) {
+			break
+		}
+		if v := s.StageExecuted[i]; v != 0 {
+			t.StageExecuted[i].Add(v)
+		}
+		if v := s.RegReads[i]; v != 0 {
+			t.RegReads[i].Add(v)
+		}
+		if v := s.RegWrites[i]; v != 0 {
+			t.RegWrites[i].Add(v)
+		}
+		if v := s.RegFaults[i]; v != 0 {
+			t.RegFaults[i].Add(v)
+		}
+	}
+	s.Lat.FlushInto(t.Latency)
+}
+
+// FlushLegacyInto drains the sink into the device's legacy counter fields
+// with no telemetry mirror — the merge half for sinks whose telemetry was
+// already flushed mid-stream (lane carry sinks) — and resets it. Exclusive
+// access to the device's counters required.
+func (s *ExecStats) FlushLegacyInto(d *Device) {
 	d.PacketsIn += s.PacketsIn
 	d.PacketsDropped += s.PacketsDropped
 	d.Recirculations += s.Recirculations
@@ -89,37 +147,6 @@ func (s *ExecStats) FlushInto(d *Device) {
 		st.Registers.Reads += s.RegReads[i]
 		st.Registers.Writes += s.RegWrites[i]
 		st.Registers.Faults += s.RegFaults[i]
-	}
-	if t := d.tel; t != nil {
-		// Same merge, into the shared atomic metrics. Zero deltas are
-		// skipped so a per-packet flush costs a handful of atomic adds.
-		if s.PacketsIn != 0 {
-			t.PacketsIn.Add(s.PacketsIn)
-		}
-		if s.PacketsDropped != 0 {
-			t.PacketsDropped.Add(s.PacketsDropped)
-		}
-		if s.Recirculations != 0 {
-			t.Recirculations.Add(s.Recirculations)
-		}
-		for i := range s.StageExecuted {
-			if i >= len(t.StageExecuted) {
-				break
-			}
-			if v := s.StageExecuted[i]; v != 0 {
-				t.StageExecuted[i].Add(v)
-			}
-			if v := s.RegReads[i]; v != 0 {
-				t.RegReads[i].Add(v)
-			}
-			if v := s.RegWrites[i]; v != 0 {
-				t.RegWrites[i].Add(v)
-			}
-			if v := s.RegFaults[i]; v != 0 {
-				t.RegFaults[i].Add(v)
-			}
-		}
-		s.Lat.FlushInto(t.Latency)
 	}
 	s.Reset()
 }

@@ -59,10 +59,50 @@ type PathStats struct {
 	Specialized                      uint64
 }
 
-// FlushInto drains the counters into the runtime's legacy fields and resets
-// them. Callers must hold exclusive access to the runtime counters (single
-// mode after each packet, or a lane merge after joining workers).
+// FlushInto drains the counters into the runtime's legacy fields (mirroring
+// into telemetry when attached) and resets them. Callers must hold exclusive
+// access to the runtime counters (single mode after each packet, or a lane
+// merge after a quiescent drain or worker join).
 func (s *PathStats) FlushInto(r *Runtime) {
+	if t := r.tel; t != nil {
+		s.flushTel(t)
+	}
+	s.flushLegacy(r)
+}
+
+// flushTel mirrors the counters into the shared telemetry counters without
+// resetting them. The counters are sharded atomics, so this half is safe
+// from a lane worker mid-stream; zero deltas are skipped so the per-packet
+// compat flush stays a few atomic adds.
+func (s *PathStats) flushTel(t *Telemetry) {
+	if s.ProgramsRun != 0 {
+		t.ProgramsRun.Add(s.ProgramsRun)
+	}
+	if s.Passthrough != 0 {
+		t.Passthrough.Add(s.Passthrough)
+	}
+	if s.Faults != 0 {
+		t.Faults.Add(s.Faults)
+	}
+	if s.PrivSuppressed != 0 {
+		t.PrivSuppressed.Add(s.PrivSuppressed)
+	}
+	if s.QuarantineDrops != 0 {
+		t.QuarantineDrops.Add(s.QuarantineDrops)
+	}
+	if s.RevokedDrops != 0 {
+		t.RevokedDrops.Add(s.RevokedDrops)
+	}
+	if s.Specialized != 0 {
+		t.Specialized.Add(s.Specialized)
+	}
+}
+
+// flushLegacy drains the counters into the runtime's legacy fields and
+// resets them, with no telemetry mirror — the merge half for counts whose
+// telemetry was already mirrored mid-stream (lane carries). Exclusive access
+// to the runtime counters required.
+func (s *PathStats) flushLegacy(r *Runtime) {
 	r.ProgramsRun += s.ProgramsRun
 	r.Passthrough += s.Passthrough
 	r.Faults += s.Faults
@@ -70,32 +110,18 @@ func (s *PathStats) FlushInto(r *Runtime) {
 	r.QuarantineDrops += s.QuarantineDrops
 	r.RevokedDrops += s.RevokedDrops
 	r.SpecializedRuns += s.Specialized
-	if t := r.tel; t != nil {
-		// Mirror the merge into the shared telemetry counters; zero deltas
-		// skipped so the per-packet compat flush stays a few atomic adds.
-		if s.ProgramsRun != 0 {
-			t.ProgramsRun.Add(s.ProgramsRun)
-		}
-		if s.Passthrough != 0 {
-			t.Passthrough.Add(s.Passthrough)
-		}
-		if s.Faults != 0 {
-			t.Faults.Add(s.Faults)
-		}
-		if s.PrivSuppressed != 0 {
-			t.PrivSuppressed.Add(s.PrivSuppressed)
-		}
-		if s.QuarantineDrops != 0 {
-			t.QuarantineDrops.Add(s.QuarantineDrops)
-		}
-		if s.RevokedDrops != 0 {
-			t.RevokedDrops.Add(s.RevokedDrops)
-		}
-		if s.Specialized != 0 {
-			t.Specialized.Add(s.Specialized)
-		}
-	}
 	*s = PathStats{}
+}
+
+// addInto adds the counters into dst without resetting s.
+func (s *PathStats) addInto(dst *PathStats) {
+	dst.ProgramsRun += s.ProgramsRun
+	dst.Passthrough += s.Passthrough
+	dst.Faults += s.Faults
+	dst.PrivSuppressed += s.PrivSuppressed
+	dst.QuarantineDrops += s.QuarantineDrops
+	dst.RevokedDrops += s.RevokedDrops
+	dst.Specialized += s.Specialized
 }
 
 // ExecSink is the per-executor accounting context: path counters, a device

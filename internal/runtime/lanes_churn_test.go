@@ -1,0 +1,244 @@
+package runtime
+
+import (
+	"sort"
+	"testing"
+)
+
+// churnLayout is the fixed region plan for the churn test: fid 1..8, sized
+// unevenly (128/256/512 words) so the occupancy-weighted deal has real skew
+// to balance, at static disjoint offsets so a reinstall always lands on the
+// same stripe.
+type churnLayout struct {
+	lo, size uint32
+}
+
+func churnPlan() map[uint16]churnLayout {
+	plan := make(map[uint16]churnLayout)
+	var off uint32
+	for fid := uint16(1); fid <= 8; fid++ {
+		size := uint32(128) << (fid % 3)
+		plan[fid] = churnLayout{lo: off, size: size}
+		off += size
+	}
+	return plan
+}
+
+// TestLanesRoutingChurnRace grants and evicts tenants across repeated
+// Quiesce/RefreshRoutes cycles with traffic in between and asserts, every
+// cycle, that (a) each admitted FID is pinned to exactly one lane and every
+// one of its executed capsules ran on that lane, (b) the installed stripes
+// are pairwise disjoint (the single-writer invariant's ground truth), and
+// (c) each tenant's counter word is exact — no lost or cross-lane
+// increments. Run under -race in CI: the churn exercises route rebuilds,
+// ring reuse, and the quiescent sink merges all at once.
+func TestLanesRoutingChurnRace(t *testing.T) {
+	r := testRuntime(t)
+	const nLanes = 4
+	lanes, err := r.NewLanes(nLanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-lane witnesses: each map is written only by its lane's worker (via
+	// Sink) and read/cleared only while quiescent, under the ring cursors'
+	// happens-before edges.
+	var seen [nLanes]map[uint16]int
+	for i := range seen {
+		seen[i] = make(map[uint16]int)
+	}
+	lanes.Sink = func(lane int, out *Output) {
+		if out.Executed {
+			seen[lane][out.Active.Header.FID]++
+		}
+	}
+
+	plan := churnPlan()
+	installed := make(map[uint16]bool)
+	expect := make(map[uint16]uint32)
+
+	const cycles, perFID = 30, 60
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Word-writing control ops (InstallGrant zeroes regions) require a
+		// drained dataplane.
+		lanes.Quiesce()
+		for _, fid := range []uint16{uint16(1 + cycle%8), uint16(1 + (cycle*3)%8)} {
+			if installed[fid] {
+				r.RemoveGrant(fid)
+				delete(installed, fid)
+				delete(expect, fid)
+			} else {
+				ly := plan[fid]
+				g := Grant{FID: fid, Accesses: []AccessGrant{{Logical: 1, Lo: ly.lo, Hi: ly.lo + ly.size}}}
+				if _, err := r.InstallGrant(g); err != nil {
+					t.Fatal(err)
+				}
+				installed[fid] = true
+				expect[fid] = 0
+			}
+		}
+		lanes.RefreshRoutes()
+
+		// (a) exactly-one-lane pinning, straight from the route table.
+		for fid := range installed {
+			lane, ok := lanes.routes[fid]
+			if !ok {
+				t.Fatalf("cycle %d: admitted fid %d not pinned", cycle, fid)
+			}
+			if lane < 0 || lane >= nLanes {
+				t.Fatalf("cycle %d: fid %d pinned to bogus lane %d", cycle, fid, lane)
+			}
+		}
+		// (b) disjoint stripe ownership across the installed set.
+		type span struct {
+			fid    uint16
+			lo, hi uint32
+		}
+		perStage := make(map[int][]span)
+		for fid := range installed {
+			for phys, reg := range r.InstalledRegions(fid) {
+				perStage[phys] = append(perStage[phys], span{fid, reg.Lo, reg.Hi})
+			}
+		}
+		for phys, spans := range perStage {
+			sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+			for i := 1; i < len(spans); i++ {
+				if spans[i].lo < spans[i-1].hi {
+					t.Fatalf("cycle %d stage %d: stripes overlap: fid %d [%d,%d) vs fid %d [%d,%d)",
+						cycle, phys, spans[i-1].fid, spans[i-1].lo, spans[i-1].hi,
+						spans[i].fid, spans[i].lo, spans[i].hi)
+				}
+			}
+		}
+
+		// Traffic: counters for every installed tenant, plus an unadmitted
+		// FID spread by flow hash (it owns no words, so it may go anywhere).
+		for i := 0; i < perFID; i++ {
+			for fid := range installed {
+				addr := plan[fid].lo + 5
+				lanes.Dispatch(progPacket(fid, laneCounter, [4]uint32{0, 0, addr, 0}), uint32(i))
+				expect[fid]++
+			}
+			lanes.Dispatch(progPacket(99, laneCounter, [4]uint32{0, 0, 0, 0}), uint32(cycle*perFID+i))
+		}
+		lanes.Quiesce() // drain; routes unchanged (same view), so pins held
+
+		for fid := range installed {
+			pinned := lanes.routes[fid]
+			total := 0
+			for lane := 0; lane < nLanes; lane++ {
+				c := seen[lane][fid]
+				if c > 0 && lane != pinned {
+					t.Fatalf("cycle %d: fid %d executed %d capsules on lane %d, pinned to %d",
+						cycle, fid, c, lane, pinned)
+				}
+				total += c
+			}
+			if total != perFID {
+				t.Fatalf("cycle %d: fid %d executed %d capsules this cycle, want %d",
+					cycle, fid, total, perFID)
+			}
+			if got := counterWord(t, r, fid, plan[fid].lo+5); got != expect[fid] {
+				t.Fatalf("cycle %d: fid %d counter = %d, want %d", cycle, fid, got, expect[fid])
+			}
+		}
+		for i := range seen {
+			for k := range seen[i] {
+				delete(seen[i], k)
+			}
+		}
+	}
+	lanes.Stop()
+	if r.Faults != 0 {
+		t.Fatalf("faults = %d, want 0", r.Faults)
+	}
+}
+
+// TestRefreshRoutesSkipsUnchangedView checks the rebuild-elision satellite:
+// Quiesce must not recompute the route map while the device keeps publishing
+// the same pipeline view, and control operations that don't touch regions
+// (Deactivate/Reactivate) must not force one either. A grant commit —
+// which rebuilds the view — must.
+func TestRefreshRoutesSkipsUnchangedView(t *testing.T) {
+	r := testRuntime(t)
+	installCacheGrant(t, r, 1, 0, 1024)
+	lanes, err := r.NewLanes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lanes.Stop()
+
+	b0 := lanes.RouteBuilds() // the build NewLanes performed
+	lanes.Quiesce()
+	lanes.Quiesce()
+	if got := lanes.RouteBuilds(); got != b0 {
+		t.Fatalf("quiesce without a grant commit rebuilt routes: builds %d -> %d", b0, got)
+	}
+	r.Deactivate(1)
+	lanes.Quiesce()
+	r.Reactivate(1)
+	lanes.Quiesce()
+	if got := lanes.RouteBuilds(); got != b0 {
+		t.Fatalf("region-preserving control ops rebuilt routes: builds %d -> %d", b0, got)
+	}
+
+	lanes.Quiesce()
+	installCacheGrant(t, r, 2, 1024, 2048)
+	lanes.RefreshRoutes()
+	if got := lanes.RouteBuilds(); got != b0+1 {
+		t.Fatalf("grant commit: builds = %d, want %d", got, b0+1)
+	}
+	if _, ok := lanes.routes[2]; !ok {
+		t.Fatal("new tenant not pinned after rebuild")
+	}
+}
+
+// TestRefreshRoutesOccupancyWeighted checks the RSS-style deal balances by
+// granted words, not insertion order: one elastic tenant holding half the
+// stage must get a lane to itself while the crowd of small tenants shares
+// the other, regardless of install order.
+func TestRefreshRoutesOccupancyWeighted(t *testing.T) {
+	r := testRuntime(t)
+	// Lights first — insertion order must not matter.
+	lights := []uint16{3, 4, 5}
+	for i, fid := range lights {
+		lo := uint32(2048 + i*256)
+		g := Grant{FID: fid, Accesses: []AccessGrant{{Logical: 1, Lo: lo, Hi: lo + 256}}}
+		if _, err := r.InstallGrant(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	heavy := Grant{FID: 2, Accesses: []AccessGrant{{Logical: 1, Lo: 0, Hi: 2048}}}
+	if _, err := r.InstallGrant(heavy); err != nil {
+		t.Fatal(err)
+	}
+
+	lanes, err := r.NewLanes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lanes.Stop()
+
+	heavyLane := lanes.routes[2]
+	for _, fid := range lights {
+		if lanes.routes[fid] == heavyLane {
+			t.Fatalf("light tenant %d dealt onto the heavy tenant's lane %d (routes: %v)",
+				fid, heavyLane, lanes.routes)
+		}
+	}
+	// Drive traffic through the skewed deal and make sure execution agrees.
+	for i := 0; i < 200; i++ {
+		lanes.Dispatch(progPacket(2, laneCounter, [4]uint32{0, 0, 9, 0}), uint32(i))
+		for _, fid := range lights {
+			addr := 2048 + uint32(fid-3)*256 + 1
+			lanes.Dispatch(progPacket(fid, laneCounter, [4]uint32{0, 0, addr, 0}), uint32(i))
+		}
+	}
+	lanes.Stop()
+	if r.Faults != 0 {
+		t.Fatalf("faults = %d, want 0", r.Faults)
+	}
+	if got := counterWord(t, r, 2, 9); got != 200 {
+		t.Fatalf("heavy counter = %d, want 200", got)
+	}
+}

@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"time"
+
+	"activermt/internal/packet"
+)
+
+// This file is the lane dispatch fabric: one bounded single-producer/
+// single-consumer ring per lane, replacing the channel-based hand-off that
+// capped multi-core scaling. A channel send takes the channel lock, may park
+// the sender, and shares its internal state across every lane; the ring is
+// two cache-line-separated cursors and an array of lane-owned batch slabs.
+// The dispatch thread writes capsule pointers straight into the slab of the
+// slot it is filling (zero-copy hand-off: no intermediate batch slice, no
+// free-list, no allocation) and publishes the slot with one atomic store;
+// the lane worker consumes with one atomic load and releases with one atomic
+// store. Go's atomics give the release/acquire edges: every slab write the
+// producer performs before tail.Store is visible to the consumer after it
+// loads the new tail, and vice versa for head on release.
+
+// laneRingSlots is the ring capacity in batches (a power of two). Eight
+// batches of DefaultLaneBatch capsules give each lane a ~1K-packet runway —
+// deep enough that a briefly descheduled worker does not stall the dispatch
+// thread, shallow enough that Quiesce drains are short.
+const laneRingSlots = 8
+
+// ringSlot is one slab of the ring, padded to a cache line so the producer
+// republishing slot i never invalidates the line a consumer is reading slot
+// j's header from.
+type ringSlot struct {
+	b []*packet.Active
+	_ [40]byte // 64 - sizeof(slice header)
+}
+
+// laneRing is the bounded SPSC ring of one lane. Field layout is the whole
+// point: the producer-written cursor line and the consumer-written cursor
+// line are separated by explicit padding, so the only cross-core traffic in
+// steady state is the unavoidable one-line transfer per published batch.
+type laneRing struct {
+	slots [laneRingSlots]ringSlot
+
+	_          [64]byte
+	tail       atomic.Uint64 // batches published; written by the producer only
+	pHeadCache uint64        // producer's last observed head (refresh on full)
+	dispatched atomic.Uint64 // capsules published (quiesce + queue-depth gauge)
+
+	_          [64]byte
+	head       atomic.Uint64 // batches released; written by the consumer only
+	cTailCache uint64        // consumer's last observed tail (refresh on empty)
+	processed  atomic.Uint64 // capsules fully executed
+
+	_      [64]byte
+	closed atomic.Bool
+}
+
+// newLaneRing returns a ring whose slots each own a slab of cap batch.
+func newLaneRing(batch int) *laneRing {
+	g := &laneRing{}
+	for i := range g.slots {
+		g.slots[i].b = make([]*packet.Active, 0, batch)
+	}
+	return g
+}
+
+// acquire returns the lane-owned slab of the next unpublished slot, length
+// zero, spinning (with scheduler yields) while the ring is full. Producer
+// side only.
+func (g *laneRing) acquire() []*packet.Active {
+	t := g.tail.Load()
+	for t-g.pHeadCache >= laneRingSlots {
+		g.pHeadCache = g.head.Load()
+		if t-g.pHeadCache >= laneRingSlots {
+			sched()
+		}
+	}
+	return g.slots[t&(laneRingSlots-1)].b[:0]
+}
+
+// publish hands a slab filled from acquire to the consumer. The slab's
+// backing array is the slot's own storage, so publication is a slice-header
+// store plus the atomic cursor advance.
+func (g *laneRing) publish(b []*packet.Active) {
+	t := g.tail.Load()
+	g.slots[t&(laneRingSlots-1)].b = b
+	g.dispatched.Add(uint64(len(b)))
+	g.tail.Store(t + 1)
+}
+
+// next returns the oldest published batch without releasing its slot;
+// ok=false when the ring is empty. Consumer side only.
+func (g *laneRing) next() ([]*packet.Active, bool) {
+	h := g.head.Load()
+	if h == g.cTailCache {
+		g.cTailCache = g.tail.Load()
+		if h == g.cTailCache {
+			return nil, false
+		}
+	}
+	return g.slots[h&(laneRingSlots-1)].b, true
+}
+
+// release returns the slot of the batch obtained from the last next() to the
+// producer, after the consumer is completely done with it (execution *and*
+// accounting: the release store is the happens-before edge Quiesce relies on
+// to read worker sinks).
+func (g *laneRing) release(n int) {
+	g.processed.Add(uint64(n))
+	g.head.Store(g.head.Load() + 1)
+}
+
+// drained reports whether every published batch has been released.
+func (g *laneRing) drained() bool { return g.head.Load() == g.tail.Load() }
+
+// depth returns capsules published and not yet fully executed.
+func (g *laneRing) depth() uint64 { return g.dispatched.Load() - g.processed.Load() }
+
+// Worker idle policy: yield to the scheduler on a miss (essential when lanes
+// outnumber cores — a spinning worker must not starve the dispatch thread),
+// and after a run of consecutive misses, sleep briefly so idle lanes do not
+// peg their cores between bursts.
+const (
+	laneIdleSpins = 256
+	laneIdleSleep = 20 * time.Microsecond
+)
+
+// idleWait backs off after the n-th consecutive empty poll.
+func idleWait(n int) {
+	if n > laneIdleSpins {
+		time.Sleep(laneIdleSleep)
+	} else {
+		sched()
+	}
+}

@@ -72,7 +72,7 @@ func (r *Runtime) AttachTelemetry(reg *telemetry.Registry) *Telemetry {
 	// requires.
 	reg.NewGaugeFunc("activermt_lane_queue_depth", "capsules dispatched to lanes and not yet processed", func() float64 {
 		if l := r.telLanes.Load(); l != nil {
-			return float64(l.dispatched.Load() - l.processed.Load())
+			return float64(l.QueueDepth())
 		}
 		return 0
 	})
